@@ -1,0 +1,144 @@
+package imc2_test
+
+// One benchmark per table/figure of the paper's evaluation (§VII) plus
+// the DESIGN.md ablations, each regenerating its artifact in quick mode
+// (small campaigns, trimmed sweeps). Full-scale regeneration is
+// cmd/imc2bench's job; these benches track the cost of the underlying
+// machinery release over release.
+
+import (
+	"fmt"
+	"testing"
+
+	"imc2"
+)
+
+// benchExperiment runs one experiment id per iteration in quick mode.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	cfg := imc2.ExperimentConfig{Reps: 1, Seed: 7, Quick: true}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tbl, err := imc2.RunExperiment(id, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tbl.Rows) == 0 {
+			b.Fatalf("%s: empty table", id)
+		}
+	}
+}
+
+func BenchmarkFig3a(b *testing.B) { benchExperiment(b, "fig3a") } // precision vs ε, α
+func BenchmarkFig3b(b *testing.B) { benchExperiment(b, "fig3b") } // precision vs r
+func BenchmarkFig4a(b *testing.B) { benchExperiment(b, "fig4a") } // precision vs tasks
+func BenchmarkFig4b(b *testing.B) { benchExperiment(b, "fig4b") } // precision vs workers
+func BenchmarkFig5a(b *testing.B) { benchExperiment(b, "fig5a") } // TD runtime vs tasks
+func BenchmarkFig5b(b *testing.B) { benchExperiment(b, "fig5b") } // TD runtime vs workers
+func BenchmarkFig6a(b *testing.B) { benchExperiment(b, "fig6a") } // social cost vs tasks
+func BenchmarkFig6b(b *testing.B) { benchExperiment(b, "fig6b") } // social cost vs workers
+func BenchmarkFig7a(b *testing.B) { benchExperiment(b, "fig7a") } // auction runtime vs tasks
+func BenchmarkFig7b(b *testing.B) { benchExperiment(b, "fig7b") } // auction runtime vs workers
+func BenchmarkFig8a(b *testing.B) { benchExperiment(b, "fig8a") } // winner utility vs bid
+func BenchmarkFig8b(b *testing.B) { benchExperiment(b, "fig8b") } // loser utility vs bid
+
+func BenchmarkApproxRatio(b *testing.B)        { benchExperiment(b, "a1") } // A1
+func BenchmarkSimilarityAblation(b *testing.B) { benchExperiment(b, "a2") } // A2
+func BenchmarkNonuniformAblation(b *testing.B) { benchExperiment(b, "a3") } // A3
+
+// --- Micro-benchmarks of the underlying engines ---------------------------
+
+// benchCampaign generates the standard benchmark workload once.
+func benchCampaign(b *testing.B, workers, tasks, copiers, perWorker int) *imc2.Campaign {
+	b.Helper()
+	spec := imc2.DefaultCampaignSpec()
+	spec.Workers = workers
+	spec.Tasks = tasks
+	spec.Copiers = copiers
+	spec.TasksPerWorker = perWorker
+	spec.RequirementLow, spec.RequirementHigh = 1, 2
+	c, err := imc2.NewCampaign(spec, imc2.NewRNG(3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+func benchDiscover(b *testing.B, method imc2.TruthMethod) {
+	c := benchCampaign(b, 60, 100, 15, 30)
+	opt := imc2.DefaultTruthOptions()
+	opt.CopyProb = 0.8
+	opt.PriorDependence = 0.05
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := imc2.DiscoverTruth(c.Dataset, method, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTruthDATE(b *testing.B) { benchDiscover(b, imc2.MethodDATE) }
+func BenchmarkTruthMV(b *testing.B)   { benchDiscover(b, imc2.MethodMV) }
+func BenchmarkTruthNC(b *testing.B)   { benchDiscover(b, imc2.MethodNC) }
+func BenchmarkTruthED(b *testing.B)   { benchDiscover(b, imc2.MethodED) }
+
+// benchInstance builds one SOAC instance for the mechanism benches.
+func benchInstance(b *testing.B) *imc2.AuctionInstance {
+	b.Helper()
+	c := benchCampaign(b, 60, 100, 15, 30)
+	opt := imc2.DefaultTruthOptions()
+	opt.CopyProb = 0.8
+	opt.PriorDependence = 0.05
+	res, err := imc2.DiscoverTruth(c.Dataset, imc2.MethodDATE, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return imc2.BuildAuctionInstance(c.Dataset, res.AccuracyMatrix(), c.Costs)
+}
+
+func benchMechanism(b *testing.B, run func(*imc2.AuctionInstance) (*imc2.AuctionOutcome, error)) {
+	in := benchInstance(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := run(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReverseAuction(b *testing.B) { benchMechanism(b, imc2.RunReverseAuction) }
+func BenchmarkGreedyAccuracy(b *testing.B) { benchMechanism(b, imc2.RunGreedyAccuracy) }
+func BenchmarkGreedyBid(b *testing.B)      { benchMechanism(b, imc2.RunGreedyBid) }
+
+// BenchmarkCampaignGeneration tracks the workload generator itself at the
+// paper's default scale.
+func BenchmarkCampaignGeneration(b *testing.B) {
+	spec := imc2.DefaultCampaignSpec()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := imc2.NewCampaign(spec, imc2.NewRNG(int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDATEScale sweeps DATE's cost with the campaign size, the shape
+// behind Fig. 5.
+func BenchmarkDATEScale(b *testing.B) {
+	for _, n := range []int{30, 60, 120} {
+		b.Run(fmt.Sprintf("workers=%d", n), func(b *testing.B) {
+			c := benchCampaign(b, n, 100, n/4, 30)
+			opt := imc2.DefaultTruthOptions()
+			opt.CopyProb = 0.6
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := imc2.DiscoverTruth(c.Dataset, imc2.MethodDATE, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

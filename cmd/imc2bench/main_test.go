@@ -1,0 +1,88 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestListFlag(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fig3a", "fig8b", "a1", "cal"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("list output missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestResolveIDs(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    string
+		wantErr bool
+	}{
+		{"fig3a", "fig3a", false},
+		{"3a", "fig3a", false},
+		{"4B", "fig4b", false},
+		{"a1", "a1", false},
+		{"cal", "cal", false},
+		{"nope", "", true},
+	}
+	for _, tt := range tests {
+		ids, err := resolveIDs(tt.in)
+		if tt.wantErr {
+			if err == nil {
+				t.Errorf("resolveIDs(%q): want error", tt.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("resolveIDs(%q): %v", tt.in, err)
+			continue
+		}
+		if len(ids) != 1 || ids[0] != tt.want {
+			t.Errorf("resolveIDs(%q) = %v, want [%s]", tt.in, ids, tt.want)
+		}
+	}
+	all, err := resolveIDs("all")
+	if err != nil || len(all) < 12 {
+		t.Errorf("resolveIDs(all) = %v, %v", all, err)
+	}
+}
+
+func TestRunSingleFigureWithCSV(t *testing.T) {
+	dir := t.TempDir()
+	var buf strings.Builder
+	err := run([]string{"-fig", "3b", "-quick", "-reps", "1", "-out", dir}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "fig3b") {
+		t.Errorf("output missing figure header:\n%s", buf.String())
+	}
+	csv, err := os.ReadFile(filepath.Join(dir, "fig3b.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(csv), "series,") {
+		t.Errorf("CSV malformed: %q", string(csv)[:50])
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-fig", "zz"}, &buf); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-definitely-not-a-flag"}, &buf); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

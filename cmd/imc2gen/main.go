@@ -1,0 +1,124 @@
+// Command imc2gen generates synthetic crowdsourcing campaigns (the
+// stand-in for the paper's datasets), saves them as JSON, and inspects
+// saved campaigns.
+//
+// Usage:
+//
+//	imc2gen -out campaign.json -seed 42 -workers 120 -tasks 300 -copiers 30
+//	imc2gen -inspect campaign.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"imc2/internal/gen"
+	"imc2/internal/iox"
+	"imc2/internal/randx"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "imc2gen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("imc2gen", flag.ContinueOnError)
+	var (
+		outPath  = fs.String("out", "", "write the generated campaign to this JSON file")
+		inspect  = fs.String("inspect", "", "inspect a saved campaign instead of generating")
+		seed     = fs.Int64("seed", 1, "generator seed")
+		workers  = fs.Int("workers", 120, "worker population")
+		tasks    = fs.Int("tasks", 300, "task count")
+		copiers  = fs.Int("copiers", 30, "copier count")
+		perWork  = fs.Int("tasks-per-worker", 50, "tasks answered per worker")
+		copyProb = fs.Float64("copy-prob", 0.8, "behavioural copy probability")
+		copyErr  = fs.Float64("copy-error", 0.05, "copy corruption probability")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *inspect != "" {
+		c, err := iox.LoadCampaign(*inspect)
+		if err != nil {
+			return err
+		}
+		describe(out, c)
+		return nil
+	}
+
+	spec := gen.DefaultSpec()
+	spec.Workers = *workers
+	spec.Tasks = *tasks
+	spec.Copiers = *copiers
+	spec.TasksPerWorker = *perWork
+	spec.CopyProb = *copyProb
+	spec.CopyError = *copyErr
+	c, err := gen.NewCampaign(spec, randx.New(*seed))
+	if err != nil {
+		return err
+	}
+	describe(out, c)
+	if *outPath != "" {
+		if err := iox.SaveCampaign(*outPath, c); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "saved to %s\n", *outPath)
+	}
+	return nil
+}
+
+// describe prints campaign statistics.
+func describe(out io.Writer, c *gen.Campaign) {
+	ds := c.Dataset
+	fmt.Fprintf(out, "campaign: %d workers (%d copiers), %d tasks, %d observations\n",
+		ds.NumWorkers(), len(c.CopierIndex), ds.NumTasks(), ds.NumObservations())
+
+	providers := make([]int, ds.NumTasks())
+	minP, maxP := 1<<30, 0
+	for j := range providers {
+		providers[j] = len(ds.TaskWorkers(j))
+		if providers[j] < minP {
+			minP = providers[j]
+		}
+		if providers[j] > maxP {
+			maxP = providers[j]
+		}
+	}
+	fmt.Fprintf(out, "providers per task: min %d, max %d, mean %.1f\n",
+		minP, maxP, float64(ds.NumObservations())/float64(ds.NumTasks()))
+
+	var costLo, costHi, costSum float64
+	costLo = 1 << 30
+	for _, cost := range c.Costs {
+		if cost < costLo {
+			costLo = cost
+		}
+		if cost > costHi {
+			costHi = cost
+		}
+		costSum += cost
+	}
+	fmt.Fprintf(out, "costs: min %.2f, max %.2f, mean %.2f\n",
+		costLo, costHi, costSum/float64(len(c.Costs)))
+
+	var copiers []int
+	for i := range c.CopierIndex {
+		copiers = append(copiers, i)
+	}
+	sort.Ints(copiers)
+	for _, i := range copiers {
+		var srcs []string
+		for _, s := range c.Sources[i] {
+			srcs = append(srcs, ds.WorkerID(s))
+		}
+		sort.Strings(srcs)
+		fmt.Fprintf(out, "  copier %s ← %v\n", ds.WorkerID(i), srcs)
+	}
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func genArgs(path string) []string {
+	return []string{
+		"-out", path, "-seed", "3",
+		"-workers", "20", "-tasks", "15", "-copiers", "4", "-tasks-per-worker", "8",
+	}
+}
+
+func TestGenerateAndInspect(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.json")
+	var buf strings.Builder
+	if err := run(genArgs(path), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"campaign: 20 workers (4 copiers), 15 tasks",
+		"providers per task", "costs:", "saved to"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("generate output missing %q:\n%s", want, out)
+		}
+	}
+
+	buf.Reset()
+	if err := run([]string{"-inspect", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "campaign: 20 workers (4 copiers), 15 tasks") {
+		t.Errorf("inspect output wrong:\n%s", buf.String())
+	}
+}
+
+func TestGenerateWithoutSaving(t *testing.T) {
+	var buf strings.Builder
+	err := run([]string{"-workers", "10", "-tasks", "8", "-copiers", "2", "-tasks-per-worker", "4"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "saved to") {
+		t.Error("claimed to save without -out")
+	}
+}
+
+func TestInspectMissingFile(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-inspect", filepath.Join(t.TempDir(), "nope.json")}, &buf); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestInvalidSpecRejected(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-workers", "1"}, &buf); err == nil {
+		t.Fatal("invalid population accepted")
+	}
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"testing"
+
+	"imc2/internal/platform"
+)
+
+func TestParseMechanism(t *testing.T) {
+	tests := []struct {
+		name    string
+		want    platform.Mechanism
+		wantErr bool
+	}{
+		{"ra", platform.MechanismReverseAuction, false},
+		{"ga", platform.MechanismGreedyAccuracy, false},
+		{"gb", platform.MechanismGreedyBid, false},
+		{"vcg", 0, true},
+		{"", 0, true},
+	}
+	for _, tt := range tests {
+		got, err := parseMechanism(tt.name)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("parseMechanism(%q) error = %v", tt.name, err)
+			continue
+		}
+		if !tt.wantErr && got != tt.want {
+			t.Errorf("parseMechanism(%q) = %v, want %v", tt.name, got, tt.want)
+		}
+	}
+}
+
+func TestCampaignSpec(t *testing.T) {
+	spec, err := campaignSpec(40, 60, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Workers != 40 || spec.Tasks != 60 || spec.Copiers != 10 {
+		t.Fatalf("spec = %+v", spec)
+	}
+	if spec.TasksPerWorker != 20 {
+		t.Fatalf("TasksPerWorker = %d, want tasks/3", spec.TasksPerWorker)
+	}
+	if _, err := campaignSpec(1, 60, 10); err == nil {
+		t.Error("invalid population accepted")
+	}
+	// Tiny task counts floor TasksPerWorker at 1.
+	spec, err = campaignSpec(5, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.TasksPerWorker != 1 {
+		t.Fatalf("TasksPerWorker = %d, want 1", spec.TasksPerWorker)
+	}
+}
+
+func TestRunRejectsBadMechanism(t *testing.T) {
+	if err := run([]string{"-mechanism", "vcg", "-addr", "127.0.0.1:0"}); err == nil {
+		t.Fatal("bad mechanism accepted")
+	}
+}
+
+func TestRunRejectsBadOptions(t *testing.T) {
+	if err := run([]string{"-r", "1.5", "-addr", "127.0.0.1:0"}); err == nil {
+		t.Fatal("invalid r accepted")
+	}
+}

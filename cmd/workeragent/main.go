@@ -1,0 +1,147 @@
+// Command workeragent simulates crowdsourcing workers against a running
+// platformd. Both sides derive the campaign deterministically from the
+// shared -seed, so the agent knows which answers "its" workers hold.
+//
+// Usage:
+//
+//	workeragent -platform http://127.0.0.1:8080 -seed 42 -workers 40 -all
+//	workeragent -platform http://127.0.0.1:8080 -seed 42 -workers 40 -index 3
+//	workeragent -platform http://127.0.0.1:8080 -close
+//
+// With -close the agent settles the auction and prints the report,
+// scoring the estimated truth against the ground truth it can reconstruct
+// from the seed.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"imc2/internal/gen"
+	"imc2/internal/randx"
+	"imc2/internal/stats"
+	"imc2/internal/wire"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "workeragent:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("workeragent", flag.ContinueOnError)
+	var (
+		base    = fs.String("platform", "http://127.0.0.1:8080", "platform base URL")
+		seed    = fs.Int64("seed", 42, "campaign seed shared with platformd")
+		workers = fs.Int("workers", 40, "campaign worker population (must match platformd)")
+		tasks   = fs.Int("tasks", 60, "campaign task count (must match platformd)")
+		copiers = fs.Int("copiers", 10, "campaign copier count (must match platformd)")
+		index   = fs.Int("index", -1, "submit only this worker index")
+		all     = fs.Bool("all", false, "submit every worker in the population")
+		close_  = fs.Bool("close", false, "close the auction and print the report")
+		timeout = fs.Duration("timeout", time.Minute, "request deadline")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	client := wire.NewClient(*base)
+	if !client.Healthy(ctx) {
+		return fmt.Errorf("platform at %s is not healthy", *base)
+	}
+
+	c, err := regenerate(*seed, *workers, *tasks, *copiers)
+	if err != nil {
+		return err
+	}
+
+	switch {
+	case *all:
+		for i := 0; i < c.Dataset.NumWorkers(); i++ {
+			if err := submit(ctx, client, c, i); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(out, "submitted %d workers\n", c.Dataset.NumWorkers())
+	case *index >= 0:
+		if *index >= c.Dataset.NumWorkers() {
+			return fmt.Errorf("index %d out of range [0, %d)", *index, c.Dataset.NumWorkers())
+		}
+		if err := submit(ctx, client, c, *index); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "submitted worker %s\n", c.Dataset.WorkerID(*index))
+	case *close_:
+		// handled below
+	default:
+		return fmt.Errorf("nothing to do: pass -all, -index, or -close")
+	}
+
+	if *close_ {
+		report, err := client.Close(ctx)
+		if err != nil {
+			return err
+		}
+		printReport(out, c, report)
+	}
+	return nil
+}
+
+// regenerate rebuilds the campaign platformd generated (same spec shaping
+// as platformd's campaignSpec).
+func regenerate(seed int64, workers, tasks, copiers int) (*gen.Campaign, error) {
+	spec := gen.DefaultSpec()
+	spec.Workers = workers
+	spec.Tasks = tasks
+	spec.Copiers = copiers
+	spec.TasksPerWorker = tasks / 3
+	if spec.TasksPerWorker < 1 {
+		spec.TasksPerWorker = 1
+	}
+	// Over-provisioned demo requirements: every winner must stay
+	// replaceable for critical payments to exist.
+	spec.RequirementLow, spec.RequirementHigh = 0.5, 1
+	spec.MinProvidersPerTask = 4
+	return gen.NewCampaign(spec, randx.New(seed))
+}
+
+func submit(ctx context.Context, client *wire.Client, c *gen.Campaign, i int) error {
+	ds := c.Dataset
+	answers := make(map[string]string)
+	for _, j := range ds.WorkerTasks(i) {
+		answers[ds.Task(j).ID] = ds.ValueString(j, ds.ValueOf(i, j))
+	}
+	err := client.Submit(ctx, wire.Submission{
+		Worker:  ds.WorkerID(i),
+		Price:   c.Costs[i],
+		Answers: answers,
+	})
+	if err != nil {
+		return fmt.Errorf("worker %s: %w", ds.WorkerID(i), err)
+	}
+	return nil
+}
+
+func printReport(out io.Writer, c *gen.Campaign, report *wire.Report) {
+	fmt.Fprintf(out, "campaign settled after %d truth-discovery iterations (converged=%v)\n",
+		report.TruthIterations, report.Converged)
+	fmt.Fprintf(out, "precision vs ground truth: %.4f\n",
+		stats.Precision(report.Truth, c.GroundTruth))
+	fmt.Fprintf(out, "winners: %d   social cost: %.3f   total payment: %.3f   platform utility: %.3f\n",
+		len(report.Winners), report.SocialCost, report.TotalPayment, report.PlatformUtility)
+
+	ids := append([]string(nil), report.Winners...)
+	sort.Strings(ids)
+	for _, w := range ids {
+		fmt.Fprintf(out, "  %s paid %.3f\n", w, report.Payments[w])
+	}
+}

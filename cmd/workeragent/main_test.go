@@ -1,0 +1,105 @@
+package main
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"imc2/internal/platform"
+	"imc2/internal/wire"
+)
+
+// startTestPlatform serves the same campaign shape the agent regenerates.
+func startTestPlatform(t *testing.T, seed int64, workers, tasks, copiers int) *httptest.Server {
+	t.Helper()
+	c, err := regenerate(seed, workers, tasks, copiers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := platform.New(c.Dataset.Tasks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := platform.DefaultConfig()
+	cfg.TruthOptions.CopyProb = 0.8
+	cfg.TruthOptions.PriorDependence = 0.05
+	srv := httptest.NewServer(wire.NewServer(p, cfg, nil).Handler())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestAgentSubmitAllAndClose(t *testing.T) {
+	srv := startTestPlatform(t, 5, 20, 24, 5)
+	args := []string{
+		"-platform", srv.URL, "-seed", "5",
+		"-workers", "20", "-tasks", "24", "-copiers", "5",
+	}
+
+	var buf strings.Builder
+	if err := run(append(args, "-all"), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "submitted 20 workers") {
+		t.Errorf("output = %q", buf.String())
+	}
+
+	buf.Reset()
+	if err := run(append(args, "-close"), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"campaign settled", "precision vs ground truth", "winners:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("close output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAgentSingleIndex(t *testing.T) {
+	srv := startTestPlatform(t, 6, 20, 24, 5)
+	var buf strings.Builder
+	err := run([]string{
+		"-platform", srv.URL, "-seed", "6",
+		"-workers", "20", "-tasks", "24", "-copiers", "5",
+		"-index", "3",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "submitted worker") {
+		t.Errorf("output = %q", buf.String())
+	}
+}
+
+func TestAgentIndexOutOfRange(t *testing.T) {
+	srv := startTestPlatform(t, 7, 20, 24, 5)
+	var buf strings.Builder
+	err := run([]string{
+		"-platform", srv.URL, "-seed", "7",
+		"-workers", "20", "-tasks", "24", "-copiers", "5",
+		"-index", "99",
+	}, &buf)
+	if err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+}
+
+func TestAgentRequiresAction(t *testing.T) {
+	srv := startTestPlatform(t, 8, 20, 24, 5)
+	var buf strings.Builder
+	err := run([]string{
+		"-platform", srv.URL, "-seed", "8",
+		"-workers", "20", "-tasks", "24", "-copiers", "5",
+	}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "nothing to do") {
+		t.Fatalf("err = %v, want nothing-to-do", err)
+	}
+}
+
+func TestAgentUnreachablePlatform(t *testing.T) {
+	var buf strings.Builder
+	err := run([]string{"-platform", "http://127.0.0.1:1", "-timeout", "2s", "-all"}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "not healthy") {
+		t.Fatalf("err = %v, want health failure", err)
+	}
+}

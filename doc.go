@@ -1,0 +1,44 @@
+// Package imc2 reproduces "Incentivizing the Workers for Truth Discovery
+// in Crowdsourcing with Copiers" (Jiang, Niu, Xu, Yang, Xu — ICDCS 2019).
+//
+// IMC2 is a two-stage incentive mechanism for crowdsourcing platforms
+// whose worker pool contains copiers:
+//
+//   - Stage 1 — truth discovery (DATE): a Bayesian analysis detects
+//     directed copying between workers from a single data snapshot,
+//     discounts copied values, and jointly estimates worker accuracy and
+//     per-task truth. Extensions handle values with multiple
+//     presentations (similarity merging) and non-uniformly distributed
+//     false values.
+//
+//   - Stage 2 — reverse auction: the platform selects a minimum-cost set
+//     of workers whose estimated accuracies meet every task's accuracy
+//     requirement (the NP-hard SOAC problem) with a greedy mechanism that
+//     is individually rational, truthful, and 2εH_Ω-approximate, then
+//     pays each winner its critical value.
+//
+// The package is a facade: the heavy lifting lives in internal packages
+// (truth, auction, platform, gen, experiment), and this package re-exports
+// the stable API. Quick tour:
+//
+//	// Build a dataset by hand…
+//	ds, err := imc2.NewDatasetBuilder().
+//		AddTask(imc2.Task{ID: "capital-of-au", NumFalse: 3, Requirement: 2, Value: 5}).
+//		AddObservation("alice", "capital-of-au", "Canberra").
+//		AddObservation("bob", "capital-of-au", "Sydney").
+//		Build()
+//
+//	// …or generate a synthetic campaign with copiers.
+//	campaign, err := imc2.NewCampaign(imc2.DefaultCampaignSpec(), imc2.NewRNG(42))
+//
+//	// Stage 1: truth discovery.
+//	res, err := imc2.DiscoverTruth(ds, imc2.MethodDATE, imc2.DefaultTruthOptions())
+//
+//	// Stage 2: the full campaign (truth discovery + reverse auction).
+//	p, err := imc2.NewPlatform(ds.Tasks())
+//	… p.Submit(imc2.Submission{…}) …
+//	report, err := p.Run(imc2.DefaultPlatformConfig())
+//
+// Every figure and table of the paper's evaluation regenerates through
+// RunExperiment (see cmd/imc2bench and EXPERIMENTS.md).
+package imc2

@@ -1,0 +1,112 @@
+// Distributed campaign: the full Fig. 1 loop over real HTTP on loopback —
+// the platform publicizes tasks, worker agents fetch them and submit
+// sealed bids with their data, and closing the auction runs DATE plus the
+// reverse auction.
+//
+// Run with:
+//
+//	go run ./examples/distributed
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"sort"
+	"time"
+
+	"imc2"
+	"imc2/internal/wire"
+)
+
+func main() {
+	spec := imc2.DefaultCampaignSpec()
+	spec.Workers = 30
+	spec.Tasks = 40
+	spec.Copiers = 8
+	spec.TasksPerWorker = 15
+	spec.RequirementLow, spec.RequirementHigh = 1, 2
+
+	campaign, err := imc2.NewCampaign(spec, imc2.NewRNG(11))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds := campaign.Dataset
+
+	// Platform side: publish the tasks over HTTP.
+	p, err := imc2.NewPlatform(ds.Tasks())
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := imc2.DefaultPlatformConfig()
+	cfg.TruthOptions.CopyProb = 0.8
+	cfg.TruthOptions.PriorDependence = 0.05
+	srv := wire.NewServer(p, cfg, log.Printf)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		if err := httpSrv.Serve(ln); err != http.ErrServerClosed {
+			log.Printf("server: %v", err)
+		}
+	}()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("platform listening at %s\n", base)
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	client := wire.NewClient(base)
+
+	// Worker side: fetch tasks, then submit every worker's envelope.
+	tasks, err := client.Tasks(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fetched %d published tasks\n", len(tasks))
+
+	for i := 0; i < ds.NumWorkers(); i++ {
+		answers := make(map[string]string)
+		for _, j := range ds.WorkerTasks(i) {
+			answers[ds.Task(j).ID] = ds.ValueString(j, ds.ValueOf(i, j))
+		}
+		err := client.Submit(ctx, wire.Submission{
+			Worker:  ds.WorkerID(i),
+			Price:   campaign.Costs[i],
+			Answers: answers,
+		})
+		if err != nil {
+			log.Fatalf("worker %s: %v", ds.WorkerID(i), err)
+		}
+	}
+	fmt.Printf("%d sealed submissions accepted\n\n", ds.NumWorkers())
+
+	// Close the auction: both stages run on the platform.
+	report, err := client.Close(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("settled: %d truth-discovery iterations, converged=%v\n",
+		report.TruthIterations, report.Converged)
+	fmt.Printf("precision vs (privately known) ground truth: %.4f\n",
+		imc2.Precision(report.Truth, campaign.GroundTruth))
+	fmt.Printf("winners=%d  social cost=%.3f  total payment=%.3f\n",
+		len(report.Winners), report.SocialCost, report.TotalPayment)
+
+	winners := append([]string(nil), report.Winners...)
+	sort.Strings(winners)
+	fmt.Println("payments:")
+	for _, w := range winners {
+		fmt.Printf("  %s → %.3f\n", w, report.Payments[w])
+	}
+
+	shutdownCtx, shutdownCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer shutdownCancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+}

@@ -1,0 +1,300 @@
+package imc2
+
+import (
+	"imc2/internal/auction"
+	"imc2/internal/experiment"
+	"imc2/internal/gen"
+	"imc2/internal/model"
+	"imc2/internal/platform"
+	"imc2/internal/randx"
+	"imc2/internal/simil"
+	"imc2/internal/stats"
+	"imc2/internal/strategy"
+	"imc2/internal/truth"
+)
+
+// ---- Data model -----------------------------------------------------------
+
+// Task is one crowdsourcing task: an answer domain size, an accuracy
+// requirement Θ, and a platform value.
+type Task = model.Task
+
+// Observation is a single (worker, task, value) submission.
+type Observation = model.Observation
+
+// Dataset is the compiled, immutable snapshot of all submissions.
+type Dataset = model.Dataset
+
+// DatasetBuilder accumulates tasks and observations into a Dataset.
+type DatasetBuilder = model.Builder
+
+// NewDatasetBuilder returns an empty dataset builder.
+func NewDatasetBuilder() *DatasetBuilder { return model.NewBuilder() }
+
+// NotAnswered marks a (worker, task) cell with no submission.
+const NotAnswered = model.NotAnswered
+
+// ---- Randomness -----------------------------------------------------------
+
+// RNG is the deterministic random source used by generators.
+type RNG = randx.RNG
+
+// NewRNG returns an RNG seeded with seed.
+func NewRNG(seed int64) *RNG { return randx.New(seed) }
+
+// ---- Truth discovery (stage 1) ---------------------------------------------
+
+// TruthMethod selects a truth-discovery algorithm.
+type TruthMethod = truth.Method
+
+// Truth-discovery algorithms: DATE is the paper's contribution; MV, NC,
+// and ED are the evaluation baselines of §VII.
+const (
+	MethodDATE = truth.MethodDATE
+	MethodMV   = truth.MethodMV
+	MethodNC   = truth.MethodNC
+	MethodED   = truth.MethodED
+)
+
+// TruthOptions configures a truth-discovery run (r, ε, α, φ, and the §IV
+// extensions).
+type TruthOptions = truth.Options
+
+// DefaultTruthOptions returns the paper's defaults (r=0.4, ε=0.5, α=0.2,
+// φ=100).
+func DefaultTruthOptions() TruthOptions { return truth.DefaultOptions() }
+
+// TruthResult carries the estimated truth, the accuracy matrix, the
+// independence probabilities, and the pairwise dependence posterior. Its
+// analysis helpers (RankDependentPairs, CopierScores, MeanIndependence,
+// Confidence) turn the posterior into audit-ready signals.
+type TruthResult = truth.Result
+
+// DependentPair is an undirected worker pair ranked by dependence.
+type DependentPair = truth.DependentPair
+
+// FalseValueModel describes how false values distribute in a task's
+// domain (§IV-B).
+type FalseValueModel = truth.FalseValueModel
+
+// UniformFalse is the §II-B uniform false-value assumption.
+type UniformFalse = truth.UniformFalse
+
+// ZipfFalse skews false-value popularity by a Zipf law.
+type ZipfFalse = truth.ZipfFalse
+
+// DensityFalse adapts an analytic density f(h) over value probabilities.
+type DensityFalse = truth.DensityFalse
+
+// DiscoverTruth runs the selected truth-discovery method over the dataset.
+func DiscoverTruth(ds *Dataset, method TruthMethod, opt TruthOptions) (*TruthResult, error) {
+	return truth.Discover(ds, method, opt)
+}
+
+// MergePresentations canonicalizes a dataset before truth discovery:
+// values of one task whose similarity reaches tau merge into their
+// majority representative. This is the robust realization of the paper's
+// §IV-A multi-presentation extension (see EXPERIMENTS.md, ablation A2).
+func MergePresentations(ds *Dataset, sim SimilarityFunc, tau float64) (*Dataset, error) {
+	return truth.MergePresentations(ds, sim, tau)
+}
+
+// Precision is the paper's §VII metric: the fraction of tasks whose
+// estimated truth matches the ground truth.
+func Precision(estimated, groundTruth map[string]string) float64 {
+	return stats.Precision(estimated, groundTruth)
+}
+
+// ---- Value similarity (§IV-A) ----------------------------------------------
+
+// SimilarityFunc scores two values in [0, 1].
+type SimilarityFunc = simil.Func
+
+// Similarity functions over character n-gram vectors, as §IV-A suggests.
+var (
+	CosineSimilarity      = simil.Cosine
+	EuclideanSimilarity   = simil.Euclidean
+	PearsonSimilarity     = simil.Pearson
+	AsymmetricSimilarity  = simil.Asymmetric
+	LevenshteinSimilarity = simil.Levenshtein
+	JaccardSimilarity     = simil.Jaccard
+)
+
+// SimilarityByName resolves a similarity function by name (cosine,
+// euclidean, pearson, asymmetric, levenshtein, jaccard).
+func SimilarityByName(name string) (SimilarityFunc, error) { return simil.ByName(name) }
+
+// ---- Reverse auction (stage 2) ---------------------------------------------
+
+// AuctionInstance is a SOAC problem: bids, task sets, an accuracy matrix,
+// and per-task accuracy requirements.
+type AuctionInstance = auction.Instance
+
+// AuctionOutcome is a mechanism's result: winners, payments, social cost.
+type AuctionOutcome = auction.Outcome
+
+// Auction error conditions.
+var (
+	ErrInfeasible = auction.ErrInfeasible
+	ErrMonopolist = auction.ErrMonopolist
+)
+
+// RunReverseAuction runs Algorithm 2 of the paper: greedy winner
+// selection by effective accuracy unit cost plus critical-value payments.
+// The mechanism is individually rational, truthful, and 2εH_Ω-approximate.
+func RunReverseAuction(in *AuctionInstance) (*AuctionOutcome, error) {
+	return auction.ReverseAuction(in)
+}
+
+// RunGreedyAccuracy runs the GA baseline (§VII-A).
+func RunGreedyAccuracy(in *AuctionInstance) (*AuctionOutcome, error) {
+	return auction.GreedyAccuracy(in)
+}
+
+// RunGreedyBid runs the GB baseline (§VII-A).
+func RunGreedyBid(in *AuctionInstance) (*AuctionOutcome, error) {
+	return auction.GreedyBid(in)
+}
+
+// RunOptimalAuction solves the SOAC instance exactly (branch and bound,
+// small instances only) with VCG payments.
+func RunOptimalAuction(in *AuctionInstance) (*AuctionOutcome, error) {
+	return auction.Optimal(in)
+}
+
+// OptimalSocialCost returns only the optimal social cost.
+func OptimalSocialCost(in *AuctionInstance) (float64, error) {
+	return auction.OptimalCost(in)
+}
+
+// ApproximationBound evaluates the 2εH_Ω guarantee of Theorem 3 for an
+// instance.
+func ApproximationBound(in *AuctionInstance) float64 {
+	return auction.TheoreticalBound(in)
+}
+
+// UtilityPoint is one sample of a worker's utility-vs-bid curve.
+type UtilityPoint = auction.UtilityPoint
+
+// UtilityCurve sweeps one worker's bid and reports its utility at each
+// point — the machinery behind the paper's Fig. 8.
+func UtilityCurve(in *AuctionInstance, worker int, trueCost float64, bids []float64) ([]UtilityPoint, error) {
+	return auction.UtilityCurve(in, worker, trueCost, bids)
+}
+
+// VerifyTruthfulness checks Myerson's two conditions empirically for one
+// worker over the given ascending bid samples.
+func VerifyTruthfulness(in *AuctionInstance, worker int, bids []float64) error {
+	return auction.VerifyTruthfulness(in, worker, bids)
+}
+
+// BuildAuctionInstance assembles the SOAC instance from a dataset, an
+// accuracy matrix (from truth discovery), and the submitted bids.
+func BuildAuctionInstance(ds *Dataset, accuracy [][]float64, bids []float64) *AuctionInstance {
+	return platform.BuildInstance(ds, accuracy, bids)
+}
+
+// ---- Platform (both stages) -------------------------------------------------
+
+// Platform runs one campaign end to end: publicize → sealed submissions →
+// truth discovery → reverse auction → payments.
+type Platform = platform.Platform
+
+// Submission is a worker's sealed envelope: bid price plus answers.
+type Submission = platform.Submission
+
+// PlatformConfig assembles both stages.
+type PlatformConfig = platform.Config
+
+// CampaignReport is the settled outcome.
+type CampaignReport = platform.Report
+
+// Mechanism selects the stage-2 auction.
+type Mechanism = platform.Mechanism
+
+// Stage-2 mechanisms.
+const (
+	MechanismReverseAuction = platform.MechanismReverseAuction
+	MechanismGreedyAccuracy = platform.MechanismGreedyAccuracy
+	MechanismGreedyBid      = platform.MechanismGreedyBid
+)
+
+// NewPlatform opens a campaign over the given tasks.
+func NewPlatform(tasks []Task) (*Platform, error) { return platform.New(tasks) }
+
+// DefaultPlatformConfig returns the paper's configuration:
+// DATE + ReverseAuction.
+func DefaultPlatformConfig() PlatformConfig { return platform.DefaultConfig() }
+
+// ---- Workload generation -----------------------------------------------------
+
+// CampaignSpec parameterizes the synthetic workload generator that stands
+// in for the paper's external datasets (see DESIGN.md).
+type CampaignSpec = gen.CampaignSpec
+
+// Campaign is a generated workload with known ground truth.
+type Campaign = gen.Campaign
+
+// DefaultCampaignSpec mirrors the paper's default simulation setup:
+// 120 workers, 300 tasks, 30 copiers, ≈6000 observations, Θ ~ U[2,4].
+func DefaultCampaignSpec() CampaignSpec { return gen.DefaultSpec() }
+
+// NewCampaign generates a campaign from the spec.
+func NewCampaign(spec CampaignSpec, rng *RNG) (*Campaign, error) {
+	return gen.NewCampaign(spec, rng)
+}
+
+// ---- Strategic behaviour -------------------------------------------------------
+
+// BiddingStrategy maps a worker's true cost to a submitted price.
+type BiddingStrategy = strategy.Strategy
+
+// Bidding strategies for behavioural truthfulness studies.
+type (
+	// TruthfulBidding bids the true cost (the dominant strategy).
+	TruthfulBidding = strategy.Truthful
+	// MarkupBidding overbids by a relative rate.
+	MarkupBidding = strategy.Markup
+	// ShadeBidding underbids by a relative rate.
+	ShadeBidding = strategy.Shade
+	// JitterBidding bids the cost scaled by a random factor.
+	JitterBidding = strategy.Jitter
+)
+
+// StrategyReport aggregates a strategy's outcomes across campaigns.
+type StrategyReport = strategy.Report
+
+// SimulateStrategy evaluates a bidding strategy as a single deviator
+// against truthful populations across the given instances.
+func SimulateStrategy(instances []*AuctionInstance, strat BiddingStrategy, rng *RNG) (*StrategyReport, error) {
+	return strategy.Simulate(instances, strat, rng)
+}
+
+// ---- Experiments --------------------------------------------------------------
+
+// ExperimentConfig controls figure regeneration sweeps.
+type ExperimentConfig = experiment.Config
+
+// ExperimentTable is a rendered figure.
+type ExperimentTable = experiment.Table
+
+// ExperimentIDs lists every regenerable figure/table.
+func ExperimentIDs() []string { return experiment.IDs() }
+
+// DefaultExperimentConfig returns the CLI default sweep configuration.
+func DefaultExperimentConfig() ExperimentConfig { return experiment.DefaultConfig() }
+
+// RunExperiment regenerates one of the paper's figures (see DESIGN.md's
+// experiment index for IDs).
+func RunExperiment(id string, cfg ExperimentConfig) (*ExperimentTable, error) {
+	return experiment.Run(id, cfg)
+}
+
+// Table1 returns the paper's motivating example (Table 1) with its ground
+// truth.
+func Table1() (*Dataset, map[string]string, error) { return experiment.Table1() }
+
+// Table1Extended returns Table 1 grown by five more researchers — enough
+// shared-mistake evidence for DATE to overturn the copied majorities that
+// defeat voting (see the quickstart example).
+func Table1Extended() (*Dataset, map[string]string, error) { return experiment.Table1Extended() }

@@ -1,0 +1,141 @@
+package auction
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestGreedyBidHandComputed(t *testing.T) {
+	in := handInstance()
+	o, err := GreedyBid(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ascending bids: w1(1), w2(1.2), w0(2) cover everything; w3 loses and
+	// sets the uniform clearing price 4.
+	if len(o.Winners) != 3 {
+		t.Fatalf("winners = %v, want 3 winners", o.Winners)
+	}
+	if math.Abs(o.SocialCost-4.2) > 1e-12 {
+		t.Errorf("social cost = %v, want 4.2", o.SocialCost)
+	}
+	for _, i := range o.Winners {
+		if o.Payments[i] != 4 {
+			t.Errorf("payment[%d] = %v, want clearing price 4", i, o.Payments[i])
+		}
+	}
+	if !SatisfiesCoverage(in, o.Winners) {
+		t.Error("GB coverage violated")
+	}
+}
+
+func TestGreedyAccuracyHandComputed(t *testing.T) {
+	in := handInstance()
+	o, err := GreedyAccuracy(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// GA ignores bids: w0 (cov 1.2) then w3 (cov 0.8) finish coverage.
+	if len(o.Winners) != 2 || !o.IsWinner(0) || !o.IsWinner(3) {
+		t.Fatalf("winners = %v, want {0, 3}", o.Winners)
+	}
+	if math.Abs(o.SocialCost-6) > 1e-12 {
+		t.Errorf("social cost = %v, want 6", o.SocialCost)
+	}
+	if !SatisfiesCoverage(in, o.Winners) {
+		t.Error("GA coverage violated")
+	}
+	for _, i := range o.Winners {
+		if o.Payments[i] < in.Bids[i] {
+			t.Errorf("GA payment[%d] = %v below bid %v", i, o.Payments[i], in.Bids[i])
+		}
+	}
+}
+
+func TestBaselinesNeverBeatReverseAuctionByMuch(t *testing.T) {
+	// The paper's Fig. 6: RA has the lowest social cost on average. On any
+	// single instance GB can tie RA, and GA is typically the worst.
+	rng := rand.New(rand.NewSource(23))
+	var raSum, gaSum, gbSum float64
+	count := 0
+	for trial := 0; trial < 50; trial++ {
+		in := randomInstance(rng, 12, 4)
+		ra, err1 := ReverseAuction(in)
+		ga, err2 := GreedyAccuracy(in)
+		gb, err3 := GreedyBid(in)
+		if err1 != nil || err2 != nil || err3 != nil {
+			continue
+		}
+		count++
+		raSum += ra.SocialCost
+		gaSum += ga.SocialCost
+		gbSum += gb.SocialCost
+	}
+	if count < 25 {
+		t.Fatalf("only %d usable instances", count)
+	}
+	if raSum >= gaSum {
+		t.Errorf("mean RA cost %v not below GA %v", raSum/float64(count), gaSum/float64(count))
+	}
+	if raSum >= gbSum {
+		t.Errorf("mean RA cost %v not below GB %v", raSum/float64(count), gbSum/float64(count))
+	}
+}
+
+func TestBaselinesInfeasible(t *testing.T) {
+	in := handInstance()
+	in.Requirements = []float64{10, 10}
+	if _, err := GreedyAccuracy(in); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("GA err = %v, want ErrInfeasible", err)
+	}
+	if _, err := GreedyBid(in); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("GB err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestBaselinesValidateInput(t *testing.T) {
+	in := handInstance()
+	in.Accuracy[0][0] = 2
+	if _, err := GreedyAccuracy(in); err == nil {
+		t.Error("GA accepted invalid instance")
+	}
+	if _, err := GreedyBid(in); err == nil {
+		t.Error("GB accepted invalid instance")
+	}
+}
+
+func TestGreedyBidSingleWorkerPaysOwnBid(t *testing.T) {
+	in := &Instance{
+		Bids:         []float64{3},
+		TaskSets:     [][]int{{0}},
+		Accuracy:     [][]float64{{0.9}},
+		Requirements: []float64{0.5},
+	}
+	o, err := GreedyBid(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Payments[0] != 3 {
+		t.Errorf("no-loser clearing payment = %v, want own bid 3", o.Payments[0])
+	}
+}
+
+func TestGreedyBidSkipsUselessWorkers(t *testing.T) {
+	// w0 is cheapest but covers nothing once w1 handles task 0; ensure the
+	// zero-coverage guard doesn't elect free riders.
+	in := &Instance{
+		Bids:         []float64{0.1, 1, 2},
+		TaskSets:     [][]int{{0}, {0}, {0}},
+		Accuracy:     [][]float64{{0.05}, {0.9}, {0.9}},
+		Requirements: []float64{0.9},
+	}
+	o, err := GreedyBid(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !SatisfiesCoverage(in, o.Winners) {
+		t.Fatal("coverage violated")
+	}
+}

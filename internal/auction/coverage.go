@@ -1,0 +1,87 @@
+package auction
+
+// coverageState incrementally maintains, for every worker k, the marginal
+// coverage cov_k = Σ_{j∈T_k} min(Θ'_j, A_k^j) as residual requirements Θ'
+// shrink. Algorithm 2 evaluates cov for all workers after every selection;
+// the incremental form turns each update into work proportional to the
+// selected worker's task set instead of a full n·m rescan.
+type coverageState struct {
+	in       *Instance
+	residual []float64 // Θ'_j
+	cov      []float64 // cov_k
+	contrib  [][]float64
+	byTask   [][]int       // worker indices per task
+	pos      []map[int]int // task index → position within TaskSets[i]
+	remain   float64       // Σ_j Θ'_j
+}
+
+// newCoverageState initializes residuals to the full requirement profile.
+func newCoverageState(in *Instance) *coverageState {
+	n, m := in.NumWorkers(), in.NumTasks()
+	s := &coverageState{
+		in:       in,
+		residual: make([]float64, m),
+		cov:      make([]float64, n),
+		contrib:  make([][]float64, n),
+		byTask:   make([][]int, m),
+		pos:      make([]map[int]int, n),
+	}
+	copy(s.residual, in.Requirements)
+	for _, q := range in.Requirements {
+		s.remain += q
+	}
+	for i, ts := range in.TaskSets {
+		s.contrib[i] = make([]float64, len(ts))
+		s.pos[i] = make(map[int]int, len(ts))
+		for t, j := range ts {
+			c := min2(s.residual[j], in.Accuracy[i][j])
+			s.contrib[i][t] = c
+			s.cov[i] += c
+			s.byTask[j] = append(s.byTask[j], i)
+			s.pos[i][j] = t
+		}
+	}
+	return s
+}
+
+// done reports whether every requirement is met.
+func (s *coverageState) done() bool { return s.remain <= covered }
+
+// coverage returns cov_k.
+func (s *coverageState) coverage(k int) float64 { return s.cov[k] }
+
+// taskPos returns the position of task j inside worker i's task set.
+func (s *coverageState) taskPos(i, j int) int { return s.pos[i][j] }
+
+// apply selects worker i: residuals over T_i drop by min(Θ'_j, A_i^j) and
+// all affected workers' coverages are refreshed.
+func (s *coverageState) apply(i int) {
+	for _, j := range s.in.TaskSets[i] {
+		dec := min2(s.residual[j], s.in.Accuracy[i][j])
+		if dec <= 0 {
+			continue
+		}
+		newResidual := s.residual[j] - dec
+		if newResidual < covered {
+			newResidual = 0
+		}
+		s.remain -= s.residual[j] - newResidual
+		s.residual[j] = newResidual
+		for _, k := range s.byTask[j] {
+			t := s.taskPos(k, j)
+			newC := min2(newResidual, s.in.Accuracy[k][j])
+			s.cov[k] += newC - s.contrib[k][t]
+			s.contrib[k][t] = newC
+		}
+	}
+	if s.remain < covered {
+		s.remain = 0
+	}
+}
+
+func min2(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

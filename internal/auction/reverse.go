@@ -1,0 +1,96 @@
+package auction
+
+import (
+	"fmt"
+	"math"
+)
+
+// ReverseAuction runs Algorithm 2: greedy winner selection by effective
+// accuracy unit cost followed by critical-value payment determination.
+// The mechanism is individually rational, truthful, and 2εH_Ω-approximate
+// (paper Theorem 3).
+func ReverseAuction(in *Instance) (*Outcome, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	winners, err := selectWinners(in, -1, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	payments := make([]float64, in.NumWorkers())
+	for _, i := range winners {
+		p, err := criticalPayment(in, i)
+		if err != nil {
+			return nil, fmt.Errorf("payment for worker %d: %w", i, err)
+		}
+		payments[i] = p
+	}
+	return finishOutcome(in, winners, payments, "ReverseAuction"), nil
+}
+
+// selectWinners runs the winner-selection phase over W\{skip} (skip = -1
+// for the full set). When observe is non-nil it is invoked after each
+// selection with the selected worker and the pre-selection coverage state,
+// which the payment phase uses to price the excluded worker against each
+// of its replacements.
+func selectWinners(in *Instance, skip int, observe func(selected int, cs *coverageState)) ([]int, error) {
+	cs := newCoverageState(in)
+	selected := make([]bool, in.NumWorkers())
+	var winners []int
+
+	for !cs.done() {
+		best, bestRatio := -1, math.Inf(1)
+		for k := 0; k < in.NumWorkers(); k++ {
+			if k == skip || selected[k] {
+				continue
+			}
+			cov := cs.coverage(k)
+			if cov <= covered {
+				continue
+			}
+			// Effective accuracy unit cost b_k / Σ min(Θ', A) (line 3).
+			ratio := in.Bids[k] / cov
+			if ratio < bestRatio {
+				best, bestRatio = k, ratio
+			}
+		}
+		if best < 0 {
+			return nil, ErrInfeasible
+		}
+		if observe != nil {
+			observe(best, cs)
+		}
+		selected[best] = true
+		winners = append(winners, best)
+		cs.apply(best)
+	}
+	return winners, nil
+}
+
+// criticalPayment computes worker i's payment (Algorithm 2 lines 10–19):
+// rerun the selection over W\{i} and take the maximum price at which i
+// would still have been chosen in place of some selected worker i_k:
+//
+//	p_i = max_k  b_{i_k} · cov_i(Θ'') / cov_{i_k}(Θ'')
+//
+// where Θ” is the residual profile at i_k's selection. Bidding above p_i
+// would place i behind the workers that already complete the coverage, so
+// p_i is i's critical value (Lemma 3).
+func criticalPayment(in *Instance, i int) (float64, error) {
+	payment := 0.0
+	_, err := selectWinners(in, i, func(k int, cs *coverageState) {
+		covI := cs.coverage(i)
+		covK := cs.coverage(k)
+		if covI <= covered || covK <= covered {
+			return
+		}
+		if p := in.Bids[k] * covI / covK; p > payment {
+			payment = p
+		}
+	})
+	if err != nil {
+		return 0, fmt.Errorf("%w (worker %d)", ErrMonopolist, i)
+	}
+	return payment, nil
+}

@@ -1,0 +1,92 @@
+package auction
+
+import (
+	"fmt"
+	"math"
+)
+
+// UtilityPoint is one sample of a worker's utility curve.
+type UtilityPoint struct {
+	// Bid is the submitted price.
+	Bid float64
+	// Utility is payment − trueCost if the worker wins at that bid, else 0.
+	Utility float64
+	// Won reports whether the worker was selected.
+	Won bool
+}
+
+// UtilityCurve reruns the reverse auction with worker's bid swept over
+// bids, holding everything else fixed, and returns the utility at each
+// point evaluated against trueCost. It is the machinery behind the
+// paper's Fig. 8 truthfulness illustration.
+func UtilityCurve(in *Instance, worker int, trueCost float64, bids []float64) ([]UtilityPoint, error) {
+	if worker < 0 || worker >= in.NumWorkers() {
+		return nil, fmt.Errorf("auction: worker %d out of range [0, %d)", worker, in.NumWorkers())
+	}
+	if trueCost < 0 || math.IsNaN(trueCost) {
+		return nil, fmt.Errorf("auction: true cost %v invalid", trueCost)
+	}
+	out := make([]UtilityPoint, 0, len(bids))
+	for _, b := range bids {
+		if b < 0 || math.IsNaN(b) {
+			return nil, fmt.Errorf("auction: bid %v invalid", b)
+		}
+		dev := &Instance{
+			Bids:         append([]float64(nil), in.Bids...),
+			TaskSets:     in.TaskSets,
+			Accuracy:     in.Accuracy,
+			Requirements: in.Requirements,
+		}
+		dev.Bids[worker] = b
+		o, err := ReverseAuction(dev)
+		if err != nil {
+			return nil, fmt.Errorf("auction: utility curve at bid %v: %w", b, err)
+		}
+		out = append(out, UtilityPoint{
+			Bid:     b,
+			Utility: o.Utility(worker, trueCost),
+			Won:     o.IsWinner(worker),
+		})
+	}
+	return out, nil
+}
+
+// VerifyTruthfulness checks Myerson's conditions empirically for one
+// worker: the utility at the truthful bid must weakly dominate every
+// other sampled bid, and winning must be monotone (no win at a higher bid
+// after a loss at a lower one ... i.e. wins form a prefix of the sorted
+// bids). It returns a descriptive error on the first violation.
+//
+// The bids slice must be sorted ascending.
+func VerifyTruthfulness(in *Instance, worker int, bids []float64) error {
+	trueCost := in.Bids[worker]
+	curve, err := UtilityCurve(in, worker, trueCost, bids)
+	if err != nil {
+		return err
+	}
+	truthful, err := ReverseAuction(in)
+	if err != nil {
+		return err
+	}
+	uTruth := truthful.Utility(worker, trueCost)
+	if uTruth < -1e-9 {
+		return fmt.Errorf("auction: truthful utility %v negative (IR violation)", uTruth)
+	}
+	lost := false
+	for i, p := range curve {
+		if p.Utility > uTruth+1e-6 {
+			return fmt.Errorf("auction: bid %v yields utility %v above truthful %v",
+				p.Bid, p.Utility, uTruth)
+		}
+		if i > 0 && bids[i] < bids[i-1] {
+			return fmt.Errorf("auction: bids not sorted at index %d", i)
+		}
+		if lost && p.Won {
+			return fmt.Errorf("auction: non-monotone selection: lost below bid %v but won at it", p.Bid)
+		}
+		if !p.Won {
+			lost = true
+		}
+	}
+	return nil
+}

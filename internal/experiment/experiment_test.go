@@ -1,0 +1,203 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func quickCfg() Config {
+	return Config{Reps: 2, Seed: 99, Quick: true}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	if err := (Config{Reps: 0}).Validate(); err == nil {
+		t.Fatal("zero reps accepted")
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, err := Run("fig99", quickCfg()); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestIDsAllRunnable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep of experiment ids is not short")
+	}
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			tbl, err := Run(id, quickCfg())
+			if err != nil {
+				t.Fatalf("Run(%q): %v", id, err)
+			}
+			if len(tbl.Rows) == 0 {
+				t.Fatalf("Run(%q): empty table", id)
+			}
+			if tbl.ID != id {
+				t.Fatalf("table ID = %q, want %q", tbl.ID, id)
+			}
+			for _, r := range tbl.Rows {
+				if r.N < 1 {
+					t.Fatalf("row %+v has no samples", r)
+				}
+			}
+		})
+	}
+}
+
+func TestFig4DATEBeatsVoting(t *testing.T) {
+	tbl, err := Run("fig4a", quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	date := tbl.SeriesMean("DATE")
+	mv := tbl.SeriesMean("MV")
+	nc := tbl.SeriesMean("NC")
+	if date <= mv {
+		t.Errorf("mean DATE precision %v not above MV %v", date, mv)
+	}
+	if date <= nc {
+		t.Errorf("mean DATE precision %v not above NC %v", date, nc)
+	}
+	if date < 0.7 {
+		t.Errorf("mean DATE precision %v unexpectedly low", date)
+	}
+}
+
+func TestFig6ReverseAuctionCheapest(t *testing.T) {
+	tbl, err := Run("fig6a", quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra := tbl.SeriesMean("ReverseAuction")
+	ga := tbl.SeriesMean("GA")
+	gb := tbl.SeriesMean("GB")
+	if ra > ga {
+		t.Errorf("RA social cost %v above GA %v", ra, ga)
+	}
+	if ra > gb {
+		t.Errorf("RA social cost %v above GB %v", ra, gb)
+	}
+}
+
+func TestFig8TruthfulBidMaximizesUtility(t *testing.T) {
+	tbl, err := Run("fig8a", quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var truthful float64
+	found := false
+	for _, r := range tbl.Rows {
+		if r.Series == "truthful bid" {
+			truthful = r.Y
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("truthful-bid row missing")
+	}
+	if truthful < 0 {
+		t.Errorf("truthful utility = %v, want >= 0 (IR)", truthful)
+	}
+	for _, r := range tbl.Rows {
+		if r.Series == "winner utility" && r.Y > truthful+1e-6 {
+			t.Errorf("bid %v gives utility %v above truthful %v", r.X, r.Y, truthful)
+		}
+	}
+}
+
+func TestFig8LoserNeverProfits(t *testing.T) {
+	tbl, err := Run("fig8b", quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tbl.Rows {
+		if r.Y > 1e-6 {
+			t.Errorf("loser extracted positive utility %v at bid %v", r.Y, r.X)
+		}
+	}
+}
+
+func TestA1RatiosAtLeastOne(t *testing.T) {
+	tbl, err := Run("a1", quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tbl.Rows {
+		if r.Series == "bound 2εH_Ω" {
+			continue
+		}
+		if r.Y < 1-1e-9 {
+			t.Errorf("%s ratio %v below 1 (beat the optimum?)", r.Series, r.Y)
+		}
+	}
+	ra := tbl.SeriesMean("ReverseAuction")
+	bound := tbl.SeriesMean("bound 2εH_Ω")
+	if ra > bound {
+		t.Errorf("RA ratio %v above the theoretical bound %v", ra, bound)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{
+		ID: "demo", Title: "demo title", XLabel: "x", YLabel: "y",
+		Rows: []Row{
+			{Series: "s1", X: 1, Y: 0.5, CI: 0.01, N: 3},
+			{Series: "s2", X: 1, Y: 0.7, CI: 0.02, N: 3},
+			{Series: "s1", X: 2, Y: 0.6, CI: 0.01, N: 3},
+		},
+	}
+	csv := tbl.CSV()
+	if !strings.HasPrefix(csv, "series,x,y,ci95,n\n") {
+		t.Errorf("CSV header wrong: %q", csv)
+	}
+	if !strings.Contains(csv, "s1,1,0.5,0.01,3") {
+		t.Errorf("CSV missing row: %q", csv)
+	}
+	md := tbl.Markdown()
+	for _, want := range []string{"### demo", "| x | s1 | s2 |", "| 1 |", "| 2 |", "–"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+	if got := tbl.Series(); len(got) != 2 || got[0] != "s1" || got[1] != "s2" {
+		t.Errorf("Series() = %v", got)
+	}
+	if got := tbl.SeriesMean("s1"); got != 0.55 {
+		t.Errorf("SeriesMean(s1) = %v, want 0.55", got)
+	}
+	if got := tbl.SeriesMean("absent"); got != 0 {
+		t.Errorf("SeriesMean(absent) = %v, want 0", got)
+	}
+	if _, ok := tbl.Lookup("s2", 2); ok {
+		t.Error("Lookup found a missing row")
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	tbl := &Table{ID: "q", XLabel: `x,axis`, YLabel: `y"label`,
+		Rows: []Row{{Series: "a,b", X: 1, Y: 2}}}
+	csv := tbl.CSV()
+	if !strings.Contains(csv, `"x,axis"`) || !strings.Contains(csv, `"y""label"`) ||
+		!strings.Contains(csv, `"a,b"`) {
+		t.Errorf("CSV escaping wrong: %q", csv)
+	}
+}
+
+func TestTable1Fixture(t *testing.T) {
+	ds, truthMap, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumWorkers() != 5 || ds.NumTasks() != 5 {
+		t.Fatalf("Table1 = %d workers, %d tasks", ds.NumWorkers(), ds.NumTasks())
+	}
+	if len(truthMap) != 5 {
+		t.Fatalf("ground truth entries = %d", len(truthMap))
+	}
+}

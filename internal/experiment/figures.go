@@ -1,0 +1,846 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"imc2/internal/auction"
+	"imc2/internal/gen"
+	"imc2/internal/model"
+	"imc2/internal/platform"
+	"imc2/internal/randx"
+	"imc2/internal/simil"
+	"imc2/internal/stats"
+	"imc2/internal/truth"
+)
+
+// sweepAxis names the x-axis of the task/worker sweeps.
+type sweepAxis int
+
+const (
+	sweepTasks sweepAxis = iota + 1
+	sweepWorkers
+)
+
+// metric selects what fig6/fig7 measure.
+type metric int
+
+const (
+	metricSocialCost metric = iota + 1
+	metricRuntime
+)
+
+// truthMethods are the §VII truth-discovery contestants in paper order.
+var truthMethods = []truth.Method{truth.MethodDATE, truth.MethodMV, truth.MethodED, truth.MethodNC}
+
+// calibratedTruthOptions mirrors the paper's procedure: §VII first sweeps
+// ε, α (Fig. 3(a)) and r (Fig. 3(b)), then fixes the best setting for the
+// remaining figures. The paper's dataset picked α = 0.2, r = 0.4; on our
+// generator — whose copiers copy 80% of their answers and whose worker
+// pairs often share only a handful of tasks — the grid peaks at
+// α = 0.05, r = 0.8 (DATE ≈ 0.92 vs MV ≈ 0.87 at the default scale;
+// see EXPERIMENTS.md for the calibration table).
+func calibratedTruthOptions() truth.Options {
+	opt := truth.DefaultOptions()
+	opt.CopyProb = 0.8
+	opt.PriorDependence = 0.05
+	return opt
+}
+
+// rngFor derives the deterministic stream for one (figure, x, rep).
+func rngFor(cfg Config, id string, x float64, rep int) *randx.RNG {
+	return randx.New(cfg.Seed).Split(id).Split(fmt.Sprintf("x=%g", x)).SplitIndex(rep)
+}
+
+// newCampaign draws a campaign, retrying with follow-on substreams when a
+// draw is degenerate (possible only for extreme sweep corners).
+func newCampaign(spec gen.CampaignSpec, rng *randx.RNG) (*gen.Campaign, error) {
+	var lastErr error
+	for attempt := 0; attempt < 8; attempt++ {
+		c, err := gen.NewCampaign(spec, rng.SplitIndex(attempt))
+		if err == nil {
+			return c, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("experiment: campaign generation failed: %w", lastErr)
+}
+
+// fig3a — precision of DATE versus the initial accuracy ε and the prior
+// dependence probability α (r fixed at 0.2, as in the paper).
+func fig3a(cfg Config) (*Table, error) {
+	grid := cfg.sweep(
+		[]float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9},
+		[]float64{0.3, 0.5, 0.7},
+	)
+	t := &Table{
+		ID:     "fig3a",
+		Title:  "DATE precision vs initial accuracy ε and dependence prior α (r = 0.2)",
+		XLabel: "epsilon",
+		YLabel: "precision",
+	}
+	spec := cfg.baseSpec()
+	for _, alpha := range grid {
+		alpha := alpha
+		series := fmt.Sprintf("alpha=%.1f", alpha)
+		for _, eps := range grid {
+			eps := eps
+			samples := make([]float64, cfg.reps())
+			err := forEachRep(cfg.reps(), func(rep int) error {
+				rng := rngFor(cfg, "fig3a", alpha*10+eps, rep)
+				c, err := newCampaign(spec, rng)
+				if err != nil {
+					return err
+				}
+				opt := truth.DefaultOptions()
+				opt.CopyProb = 0.2
+				opt.InitAccuracy = eps
+				opt.PriorDependence = alpha
+				res, err := truth.Discover(c.Dataset, truth.MethodDATE, opt)
+				if err != nil {
+					return err
+				}
+				samples[rep] = stats.Precision(res.TruthMap(c.Dataset), c.GroundTruth)
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, point(series, eps, samples))
+		}
+	}
+	return t, nil
+}
+
+// fig3b — precision of DATE versus the copy probability r.
+func fig3b(cfg Config) (*Table, error) {
+	rs := cfg.sweep(
+		[]float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9},
+		[]float64{0.2, 0.5, 0.8},
+	)
+	t := &Table{
+		ID:     "fig3b",
+		Title:  "DATE precision vs copy probability r (ε = 0.5, α = 0.2)",
+		XLabel: "r",
+		YLabel: "precision",
+	}
+	spec := cfg.baseSpec()
+	for _, r := range rs {
+		r := r
+		samples := make([]float64, cfg.reps())
+		err := forEachRep(cfg.reps(), func(rep int) error {
+			rng := rngFor(cfg, "fig3b", r, rep)
+			c, err := newCampaign(spec, rng)
+			if err != nil {
+				return err
+			}
+			opt := truth.DefaultOptions()
+			opt.CopyProb = r
+			res, err := truth.Discover(c.Dataset, truth.MethodDATE, opt)
+			if err != nil {
+				return err
+			}
+			samples[rep] = stats.Precision(res.TruthMap(c.Dataset), c.GroundTruth)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, point("DATE", r, samples))
+	}
+	return t, nil
+}
+
+// specForAxis adapts the base spec to one sweep point.
+func specForAxis(spec gen.CampaignSpec, axis sweepAxis, x float64) gen.CampaignSpec {
+	switch axis {
+	case sweepTasks:
+		spec.Tasks = int(x)
+		if spec.TasksPerWorker > spec.Tasks {
+			spec.TasksPerWorker = spec.Tasks
+		}
+	case sweepWorkers:
+		spec.Workers = int(x)
+		spec.Copiers = spec.Workers / 4
+	}
+	return spec
+}
+
+func (c Config) axisSweep(axis sweepAxis) []float64 {
+	if axis == sweepTasks {
+		return c.sweep(
+			[]float64{50, 100, 150, 200, 250, 300},
+			[]float64{20, 40},
+		)
+	}
+	return c.sweep(
+		[]float64{40, 60, 80, 100, 120, 140},
+		[]float64{20, 30},
+	)
+}
+
+// auctionWorkerSweep starts higher than the truth-discovery sweep: below
+// ~60 workers a Θ ∈ [2,4] profile cannot be met with slack, and the
+// mechanisms need slack for critical payments to exist.
+func (c Config) auctionWorkerSweep() []float64 {
+	return c.sweep(
+		[]float64{60, 80, 100, 120, 140, 160},
+		[]float64{24, 32},
+	)
+}
+
+func axisLabel(axis sweepAxis) string {
+	if axis == sweepTasks {
+		return "tasks"
+	}
+	return "workers"
+}
+
+// fig4 — precision of DATE/MV/ED/NC versus the number of tasks (a) or
+// workers (b).
+func fig4(cfg Config, axis sweepAxis, id string) (*Table, error) {
+	t := &Table{
+		ID:     id,
+		Title:  "truth-discovery precision vs " + axisLabel(axis),
+		XLabel: axisLabel(axis),
+		YLabel: "precision",
+	}
+	for _, x := range cfg.axisSweep(axis) {
+		x := x
+		spec := specForAxis(cfg.baseSpec(), axis, x)
+		samples := map[truth.Method][]float64{}
+		for _, m := range truthMethods {
+			samples[m] = make([]float64, cfg.reps())
+		}
+		err := forEachRep(cfg.reps(), func(rep int) error {
+			rng := rngFor(cfg, id, x, rep)
+			c, err := newCampaign(spec, rng)
+			if err != nil {
+				return err
+			}
+			for _, m := range truthMethods {
+				res, err := truth.Discover(c.Dataset, m, calibratedTruthOptions())
+				if err != nil {
+					return err
+				}
+				samples[m][rep] = stats.Precision(res.TruthMap(c.Dataset), c.GroundTruth)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range truthMethods {
+			t.Rows = append(t.Rows, point(m.String(), x, samples[m]))
+		}
+	}
+	return t, nil
+}
+
+// fig5 — running time (milliseconds) of the truth-discovery methods.
+func fig5(cfg Config, axis sweepAxis, id string) (*Table, error) {
+	t := &Table{
+		ID:     id,
+		Title:  "truth-discovery running time vs " + axisLabel(axis),
+		XLabel: axisLabel(axis),
+		YLabel: "milliseconds",
+	}
+	for _, x := range cfg.axisSweep(axis) {
+		spec := specForAxis(cfg.baseSpec(), axis, x)
+		samples := map[truth.Method][]float64{}
+		for rep := 0; rep < cfg.reps(); rep++ {
+			rng := rngFor(cfg, id, x, rep)
+			c, err := newCampaign(spec, rng)
+			if err != nil {
+				return nil, err
+			}
+			for _, m := range truthMethods {
+				start := time.Now()
+				if _, err := truth.Discover(c.Dataset, m, calibratedTruthOptions()); err != nil {
+					return nil, err
+				}
+				samples[m] = append(samples[m], float64(time.Since(start).Microseconds())/1000)
+			}
+		}
+		for _, m := range truthMethods {
+			t.Rows = append(t.Rows, point(m.String(), x, samples[m]))
+		}
+	}
+	return t, nil
+}
+
+// auctionContestants maps series names to mechanisms.
+var auctionContestants = []struct {
+	name string
+	run  func(*auction.Instance) (*auction.Outcome, error)
+}{
+	{"ReverseAuction", auction.ReverseAuction},
+	{"GA", auction.GreedyAccuracy},
+	{"GB", auction.GreedyBid},
+}
+
+// fig67 — social cost (fig6) or running time (fig7) of the auction
+// mechanisms versus tasks or workers. Every instance runs DATE first so
+// all mechanisms price the same accuracy matrix, as in the paper's setup.
+func fig67(cfg Config, axis sweepAxis, id string, what metric) (*Table, error) {
+	yLabel := "social cost"
+	if what == metricRuntime {
+		yLabel = "milliseconds"
+	}
+	t := &Table{
+		ID:     id,
+		Title:  "auction " + yLabel + " vs " + axisLabel(axis),
+		XLabel: axisLabel(axis),
+		YLabel: yLabel,
+	}
+	sweepXs := cfg.axisSweep(axis)
+	if axis == sweepWorkers {
+		sweepXs = cfg.auctionWorkerSweep()
+	}
+	for _, x := range sweepXs {
+		x := x
+		spec := specForAxis(cfg.baseSpec(), axis, x)
+		if axis == sweepWorkers {
+			// The paper's Fig. 6(b) holds the requirement profile fixed
+			// while the workforce grows (cost falls as competition rises).
+			// Flatter participation keeps Θ ~ U[2,4] feasible at the small
+			// end of the sweep; otherwise the coverage cap would couple Θ
+			// to the workforce size and invert the trend.
+			spec.ParticipationDecay = 0.3
+			spec.MinProvidersPerTask = 5
+		}
+		samples := map[string][]float64{}
+		for _, contestant := range auctionContestants {
+			samples[contestant.name] = make([]float64, cfg.reps())
+		}
+		runRep := func(rep int) error {
+			in, err := auctionInstance(cfg, id, spec, x, rep)
+			if err != nil {
+				return err
+			}
+			for _, contestant := range auctionContestants {
+				start := time.Now()
+				out, err := contestant.run(in)
+				elapsed := float64(time.Since(start).Microseconds()) / 1000
+				if err != nil {
+					return fmt.Errorf("%s at %s=%g: %w", contestant.name, t.XLabel, x, err)
+				}
+				if what == metricRuntime {
+					samples[contestant.name][rep] = elapsed
+				} else {
+					samples[contestant.name][rep] = out.SocialCost
+				}
+			}
+			return nil
+		}
+		var err error
+		if what == metricRuntime {
+			// Wall-clock measurements must not contend for cores.
+			for rep := 0; rep < cfg.reps() && err == nil; rep++ {
+				err = runRep(rep)
+			}
+		} else {
+			err = forEachRep(cfg.reps(), runRep)
+		}
+		if err != nil {
+			return nil, err
+		}
+		for _, contestant := range auctionContestants {
+			t.Rows = append(t.Rows, point(contestant.name, x, samples[contestant.name]))
+		}
+	}
+	return t, nil
+}
+
+// auctionInstance generates a campaign, runs DATE, and assembles a
+// feasible SOAC instance, re-drawing when a degenerate draw leaves some
+// task uncoverable or a winner irreplaceable.
+func auctionInstance(cfg Config, id string, spec gen.CampaignSpec, x float64, rep int) (*auction.Instance, error) {
+	rng := rngFor(cfg, id, x, rep)
+	var lastErr error
+	for attempt := 0; attempt < 8; attempt++ {
+		c, err := gen.NewCampaign(spec, rng.SplitIndex(100+attempt))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		res, err := truth.Discover(c.Dataset, truth.MethodDATE, calibratedTruthOptions())
+		if err != nil {
+			return nil, err
+		}
+		in := platform.BuildInstance(c.Dataset, res.Accuracy, c.Costs)
+		clampRequirements(in)
+		// The instance must survive single-winner removal for critical
+		// payments to exist under every contestant.
+		if _, err := auction.ReverseAuction(in); err != nil {
+			if errors.Is(err, auction.ErrInfeasible) || errors.Is(err, auction.ErrMonopolist) {
+				lastErr = err
+				continue
+			}
+			return nil, err
+		}
+		return in, nil
+	}
+	return nil, fmt.Errorf("experiment: no feasible instance after retries at %s x=%g: %w", id, x, lastErr)
+}
+
+// clampRequirements caps every requirement at 90% of the estimated
+// coverage that survives losing the task's single best provider. A real
+// platform cannot demand more confidence than its workforce delivers, and
+// critical payments (hence truthfulness) only exist when every winner is
+// replaceable. At the paper's default scale the surviving coverage is far
+// above the Θ ∈ [2,4] band, so this clamp only bites in sparse sweep
+// corners; EXPERIMENTS.md documents it.
+func clampRequirements(in *auction.Instance) {
+	n := in.NumWorkers()
+	total := make([]float64, in.NumTasks())
+	maxAcc := make([]float64, in.NumTasks())
+	for i := 0; i < n; i++ {
+		for _, j := range in.TaskSets[i] {
+			a := in.Accuracy[i][j]
+			total[j] += a
+			if a > maxAcc[j] {
+				maxAcc[j] = a
+			}
+		}
+	}
+	for j := range in.Requirements {
+		if cap := 0.9 * (total[j] - maxAcc[j]); in.Requirements[j] > cap {
+			in.Requirements[j] = cap
+		}
+		if in.Requirements[j] < 0 {
+			in.Requirements[j] = 0
+		}
+	}
+}
+
+// fig8 — truthfulness: a chosen winner's (a) or loser's (b) utility as a
+// function of its submitted bid, holding everything else fixed. The
+// paper's Fig. 8 uses workers 26 and 58 of its campaign; we pick the
+// winner with the largest truthful utility and the lowest-cost loser.
+func fig8(cfg Config, winner bool) (*Table, error) {
+	id := "fig8b"
+	series := "loser utility"
+	if winner {
+		id = "fig8a"
+		series = "winner utility"
+	}
+	spec := cfg.baseSpec()
+	in, err := auctionInstance(cfg, id, spec, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	truthOut, err := auction.ReverseAuction(in)
+	if err != nil {
+		return nil, err
+	}
+
+	// Pick the target: the winner with the median truthful utility (its
+	// critical value sits inside a reasonable sweep range; the maximum-
+	// utility winner can be irreplaceably cheap and never lose), or the
+	// cheapest loser.
+	target := -1
+	if winner {
+		type wu struct {
+			i int
+			u float64
+		}
+		var wus []wu
+		for _, i := range truthOut.Winners {
+			wus = append(wus, wu{i, truthOut.Utility(i, in.Bids[i])})
+		}
+		sort.Slice(wus, func(a, b int) bool { return wus[a].u < wus[b].u })
+		target = wus[len(wus)/2].i
+	} else {
+		for i := range in.Bids {
+			if truthOut.IsWinner(i) {
+				continue
+			}
+			if target < 0 || in.Bids[i] < in.Bids[target] {
+				target = i
+			}
+		}
+	}
+	if target < 0 {
+		return nil, fmt.Errorf("experiment: %s: no target worker found", id)
+	}
+	trueCost := in.Bids[target]
+
+	t := &Table{
+		ID:     id,
+		Title:  fmt.Sprintf("utility of worker %d (true cost %.2f) vs submitted bid", target, trueCost),
+		XLabel: "bid",
+		YLabel: "utility",
+	}
+	// The sweep must cross the worker's critical value so the utility
+	// cliff is visible: span from a fraction of the cost to 1.5× the
+	// truthful payment (= the critical value for winners).
+	hi := 1.5 * (truthOut.Payments[target] + trueCost)
+	if hi < 2*trueCost {
+		hi = 2 * trueCost
+	}
+	const points = 20
+	var bids []float64
+	for k := 0; k <= points; k++ {
+		bids = append(bids, 0.25*trueCost+(hi-0.25*trueCost)*float64(k)/points)
+	}
+	if cfg.Quick {
+		bids = []float64{0.5 * trueCost, trueCost, hi}
+	}
+	curve, err := auction.UtilityCurve(in, target, trueCost, bids)
+	if err != nil {
+		return nil, err
+	}
+	for _, pt := range curve {
+		t.Rows = append(t.Rows, Row{Series: series, X: pt.Bid, Y: pt.Utility, N: 1})
+	}
+	// Mark the truthful point as its own series so readers can see it.
+	out := truthOut.Utility(target, trueCost)
+	t.Rows = append(t.Rows, Row{Series: "truthful bid", X: trueCost, Y: out, N: 1})
+	return t, nil
+}
+
+// ablationApproxRatio (A1) — empirical approximation ratios of the three
+// mechanisms against the exact optimum on small instances, with the
+// 2εH_Ω bound for reference.
+func ablationApproxRatio(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "a1",
+		Title:  "social cost relative to the exact optimum (small instances)",
+		XLabel: "workers",
+		YLabel: "cost / OPT",
+	}
+	sizes := cfg.sweep([]float64{8, 10, 12, 14, 16}, []float64{8, 10})
+	for _, x := range sizes {
+		x := x
+		spec := cfg.baseSpec()
+		spec.Workers = int(x)
+		spec.Copiers = int(x) / 4
+		spec.Tasks = 8
+		spec.TasksPerWorker = 5
+		spec.RequirementLow, spec.RequirementHigh = 0.5, 1.2
+		spec.ParticipationDecay = 0.2
+
+		samples := map[string][]float64{}
+		for _, contestant := range auctionContestants {
+			samples[contestant.name] = make([]float64, cfg.reps())
+		}
+		samples["bound 2εH_Ω"] = make([]float64, cfg.reps())
+		err := forEachRep(cfg.reps(), func(rep int) error {
+			in, err := auctionInstance(cfg, "a1", spec, x, rep)
+			if err != nil {
+				return err
+			}
+			opt, err := auction.OptimalCost(in)
+			if err != nil {
+				return err
+			}
+			for _, contestant := range auctionContestants {
+				out, err := contestant.run(in)
+				if err != nil {
+					return err
+				}
+				samples[contestant.name][rep] = out.SocialCost / opt
+			}
+			samples["bound 2εH_Ω"][rep] = auction.TheoreticalBound(in)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, contestant := range auctionContestants {
+			t.Rows = append(t.Rows, point(contestant.name, x, samples[contestant.name]))
+		}
+		t.Rows = append(t.Rows, point("bound 2εH_Ω", x, samples["bound 2εH_Ω"]))
+	}
+	return t, nil
+}
+
+// ablationSimilarity (A2) — §IV-A: precision with and without the
+// similarity extension as presentation noise grows. Honest workers emit
+// variant spellings of their answers ("IT" for "Information Technology"),
+// splitting the true value's support; the similarity-aware run merges the
+// presentations back. Both arms are scored against canonicalized values
+// (a variant of the truth counts as correct), so the comparison isolates
+// the support-splitting effect.
+func ablationSimilarity(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "a2",
+		Title:  "precision vs presentation-noise rate, with and without similarity merging (ρ = 0.5)",
+		XLabel: "presentation noise",
+		YLabel: "precision",
+	}
+	noise := cfg.sweep([]float64{0, 0.1, 0.2, 0.3, 0.4}, []float64{0, 0.3})
+	threshold := func(a, b string) float64 {
+		s := simil.Cosine(a, b)
+		if s < 0.7 {
+			return 0
+		}
+		return s
+	}
+	// canonical strips the generator's variant suffixes ("…~p1", "…~e2").
+	canonical := func(v string) string {
+		if i := strings.IndexByte(v, '~'); i >= 0 {
+			return v[:i]
+		}
+		return v
+	}
+	canonicalPrecision := func(res *truth.Result, c *gen.Campaign) float64 {
+		est := res.TruthMap(c.Dataset)
+		correct := 0
+		for task, want := range c.GroundTruth {
+			if canonical(est[task]) == want {
+				correct++
+			}
+		}
+		return float64(correct) / float64(len(c.GroundTruth))
+	}
+	for _, q := range noise {
+		q := q
+		spec := cfg.baseSpec()
+		spec.PresentationNoise = q
+		plain := make([]float64, cfg.reps())
+		merged := make([]float64, cfg.reps())
+		full := make([]float64, cfg.reps())
+		err := forEachRep(cfg.reps(), func(rep int) error {
+			rng := rngFor(cfg, "a2", q, rep)
+			c, err := newCampaign(spec, rng)
+			if err != nil {
+				return err
+			}
+			res, err := truth.Discover(c.Dataset, truth.MethodDATE, calibratedTruthOptions())
+			if err != nil {
+				return err
+			}
+			plain[rep] = canonicalPrecision(res, c)
+
+			opt := calibratedTruthOptions()
+			opt.Similarity = threshold
+			opt.SimilarityWeight = 0.5
+			res, err = truth.Discover(c.Dataset, truth.MethodDATE, opt)
+			if err != nil {
+				return err
+			}
+			merged[rep] = canonicalPrecision(res, c)
+
+			// The robust realization of §IV-A: canonicalize
+			// presentations BEFORE inference. Post-hoc support
+			// adjustments leave per-value probabilities fragmented,
+			// estimated accuracies sink below the num·A/(1−A) break-even,
+			// and vote weights invert (the collapse visible in the other
+			// two arms).
+			mergedDS, err := truth.MergePresentations(c.Dataset, threshold, 0.7)
+			if err != nil {
+				return err
+			}
+			res, err = truth.Discover(mergedDS, truth.MethodDATE, calibratedTruthOptions())
+			if err != nil {
+				return err
+			}
+			est := res.TruthMap(mergedDS)
+			correct := 0
+			for task, want := range c.GroundTruth {
+				if canonical(est[task]) == want {
+					correct++
+				}
+			}
+			full[rep] = float64(correct) / float64(len(c.GroundTruth))
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, point("DATE", q, plain))
+		t.Rows = append(t.Rows, point("DATE+eq21", q, merged))
+		t.Rows = append(t.Rows, point("DATE+premerge", q, full))
+	}
+	return t, nil
+}
+
+// ablationNonuniform (A3) — §IV-B: when wrong answers concentrate on a
+// popular false value (Zipf-skewed), does modelling the skew help?
+func ablationNonuniform(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "a3",
+		Title:  "precision vs false-value skew, uniform model vs skew-aware model",
+		XLabel: "false-value Zipf exponent",
+		YLabel: "precision",
+	}
+	skews := cfg.sweep([]float64{0, 0.75, 1.5, 2.25, 3}, []float64{0, 1.5})
+	for _, sk := range skews {
+		sk := sk
+		spec := cfg.baseSpec()
+		spec.FalseZipfS = sk
+		spec.NumFalse = 4 // skew needs room to matter
+		uniform := make([]float64, cfg.reps())
+		aware := make([]float64, cfg.reps())
+		err := forEachRep(cfg.reps(), func(rep int) error {
+			rng := rngFor(cfg, "a3", sk, rep)
+			c, err := newCampaign(spec, rng)
+			if err != nil {
+				return err
+			}
+			res, err := truth.Discover(c.Dataset, truth.MethodDATE, calibratedTruthOptions())
+			if err != nil {
+				return err
+			}
+			uniform[rep] = stats.Precision(res.TruthMap(c.Dataset), c.GroundTruth)
+
+			opt := calibratedTruthOptions()
+			opt.FalseValues = truth.ZipfFalse{S: sk}
+			res, err = truth.Discover(c.Dataset, truth.MethodDATE, opt)
+			if err != nil {
+				return err
+			}
+			aware[rep] = stats.Precision(res.TruthMap(c.Dataset), c.GroundTruth)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, point("uniform model", sk, uniform))
+		t.Rows = append(t.Rows, point("skew-aware model", sk, aware))
+	}
+	return t, nil
+}
+
+// calibration — the (α, r) grid behind calibratedTruthOptions: DATE's
+// precision across dependence priors and copy probabilities on the
+// default workload, with MV as the flat reference. This is the artifact
+// that justifies running the paper's remaining figures at α = 0.05,
+// r = 0.8 on this generator.
+func calibration(cfg Config) (*Table, error) {
+	alphas := cfg.sweep([]float64{0.05, 0.1, 0.2, 0.4}, []float64{0.05, 0.2})
+	rs := cfg.sweep([]float64{0.2, 0.4, 0.6, 0.8}, []float64{0.4, 0.8})
+	t := &Table{
+		ID:     "cal",
+		Title:  "calibration: DATE precision across (α, r); MV shown for reference",
+		XLabel: "r",
+		YLabel: "precision",
+	}
+	spec := cfg.baseSpec()
+	mvSamples := make([]float64, cfg.reps())
+	for _, alpha := range alphas {
+		alpha := alpha
+		series := fmt.Sprintf("DATE alpha=%.2f", alpha)
+		for _, r := range rs {
+			r := r
+			samples := make([]float64, cfg.reps())
+			err := forEachRep(cfg.reps(), func(rep int) error {
+				rng := rngFor(cfg, "cal", alpha*10+r, rep)
+				c, err := newCampaign(spec, rng)
+				if err != nil {
+					return err
+				}
+				opt := truth.DefaultOptions()
+				opt.PriorDependence = alpha
+				opt.CopyProb = r
+				res, err := truth.Discover(c.Dataset, truth.MethodDATE, opt)
+				if err != nil {
+					return err
+				}
+				samples[rep] = stats.Precision(res.TruthMap(c.Dataset), c.GroundTruth)
+				if alpha == alphas[0] && r == rs[0] {
+					mv, err := truth.Discover(c.Dataset, truth.MethodMV, opt)
+					if err != nil {
+						return err
+					}
+					mvSamples[rep] = stats.Precision(mv.TruthMap(c.Dataset), c.GroundTruth)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, point(series, r, samples))
+		}
+	}
+	for _, r := range rs {
+		t.Rows = append(t.Rows, point("MV", r, mvSamples))
+	}
+	return t, nil
+}
+
+// Table1Extended returns Table 1 grown by five more researchers. The
+// original five tasks alone cannot be fixed by any parameterization: the
+// copied majorities are the initial truth estimate, so the copies read as
+// benign agreement. Five more tasks — two of which w3 also got wrong and
+// the copiers duplicated — give the Bayesian dependence analysis enough
+// shared-false evidence to overturn the copied majorities, which is the
+// paper's thesis in miniature.
+func Table1Extended() (*model.Dataset, map[string]string, error) {
+	b := model.NewBuilder()
+	tasks := []string{
+		"Stonebraker", "Dewitt", "Bernstein", "Carey", "Halevy",
+		"Gray", "Ullman", "Codd", "Knuth", "Lamport",
+	}
+	for _, id := range tasks {
+		b.AddTask(model.Task{ID: id, NumFalse: 4, Requirement: 2, Value: 5})
+	}
+	answers := map[string][]string{
+		"w1": {"MIT", "MSR", "MSR", "UCI", "Google", "Microsoft", "Stanford", "IBM", "Stanford", "Microsoft"},
+		"w2": {"Berkeley", "MSR", "MSR", "AT&T", "Google", "Microsoft", "Princeton", "IBM", "Stanford", "DEC"},
+		"w3": {"MIT", "UWise", "MSR", "BEA", "UW", "IBM", "Stanford", "Oracle", "Stanford", "Microsoft"},
+		"w4": {"MIT", "UWisc", "MSR", "BEA", "UW", "IBM", "Stanford", "Oracle", "Stanford", "Microsoft"},
+		"w5": {"MS", "UWisc", "MSR", "BEA", "UW", "IBM", "Stanford", "Oracle", "Stanford", "Microsoft"},
+	}
+	for _, w := range []string{"w1", "w2", "w3", "w4", "w5"} {
+		for j, task := range tasks {
+			b.AddObservation(w, task, answers[w][j])
+		}
+	}
+	ds, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	truthMap := map[string]string{
+		"Stonebraker": "MIT",
+		"Dewitt":      "MSR",
+		"Bernstein":   "MSR",
+		"Carey":       "UCI",
+		"Halevy":      "Google",
+		"Gray":        "Microsoft",
+		"Ullman":      "Stanford",
+		"Codd":        "IBM",
+		"Knuth":       "Stanford",
+		"Lamport":     "Microsoft",
+	}
+	return ds, truthMap, nil
+}
+
+// Table1 returns the motivating example of the paper's Table 1 as a
+// dataset plus ground truth, for the quickstart example and tests.
+func Table1() (*model.Dataset, map[string]string, error) {
+	b := model.NewBuilder()
+	tasks := []string{"Stonebraker", "Dewitt", "Bernstein", "Carey", "Halevy"}
+	for _, id := range tasks {
+		b.AddTask(model.Task{ID: id, NumFalse: 4, Requirement: 2, Value: 5})
+	}
+	answers := map[string][]string{
+		"w1": {"MIT", "MSR", "MSR", "UCI", "Google"},
+		"w2": {"Berkeley", "MSR", "MSR", "AT&T", "Google"},
+		"w3": {"MIT", "UWise", "MSR", "BEA", "UW"},
+		"w4": {"MIT", "UWisc", "MSR", "BEA", "UW"},
+		"w5": {"MS", "UWisc", "MSR", "BEA", "UW"},
+	}
+	for _, w := range []string{"w1", "w2", "w3", "w4", "w5"} {
+		for j, task := range tasks {
+			b.AddObservation(w, task, answers[w][j])
+		}
+	}
+	ds, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	truthMap := map[string]string{
+		"Stonebraker": "MIT",
+		"Dewitt":      "MSR",
+		"Bernstein":   "MSR",
+		"Carey":       "UCI",
+		"Halevy":      "Google",
+	}
+	return ds, truthMap, nil
+}

@@ -1,0 +1,62 @@
+package experiment
+
+import (
+	"runtime"
+	"sync"
+)
+
+// forEachRep runs fn(rep) for rep in [0, reps) across a bounded worker
+// pool and returns the first error. Precision and social-cost experiments
+// use it — their repetitions are independent by construction (each rep
+// derives its own RNG substream). Timing experiments (fig5, fig7) must
+// NOT use it: concurrent runs contend for cores and corrupt wall-clock
+// measurements.
+func forEachRep(reps int, fn func(rep int) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > reps {
+		workers = reps
+	}
+	if workers <= 1 {
+		for rep := 0; rep < reps; rep++ {
+			if err := fn(rep); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := range next {
+				if err := fn(rep); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	for rep := 0; rep < reps; rep++ {
+		mu.Lock()
+		stop := firstErr != nil
+		mu.Unlock()
+		if stop {
+			break
+		}
+		next <- rep
+	}
+	close(next)
+	wg.Wait()
+	return firstErr
+}

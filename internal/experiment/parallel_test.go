@@ -1,0 +1,55 @@
+package experiment
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRepRunsAll(t *testing.T) {
+	for _, reps := range []int{0, 1, 3, 17, 64} {
+		var count int64
+		seen := make([]int64, reps)
+		err := forEachRep(reps, func(rep int) error {
+			atomic.AddInt64(&count, 1)
+			atomic.AddInt64(&seen[rep], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("reps=%d: %v", reps, err)
+		}
+		if count != int64(reps) {
+			t.Fatalf("reps=%d: ran %d", reps, count)
+		}
+		for rep, n := range seen {
+			if n != 1 {
+				t.Fatalf("rep %d ran %d times", rep, n)
+			}
+		}
+	}
+}
+
+func TestForEachRepPropagatesError(t *testing.T) {
+	sentinel := errors.New("boom")
+	err := forEachRep(32, func(rep int) error {
+		if rep == 7 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+}
+
+func TestForEachRepStopsEarlyOnError(t *testing.T) {
+	sentinel := errors.New("boom")
+	var ran int64
+	_ = forEachRep(10_000, func(rep int) error {
+		atomic.AddInt64(&ran, 1)
+		return sentinel
+	})
+	if got := atomic.LoadInt64(&ran); got > 256 {
+		t.Fatalf("ran %d reps after the first error; expected early stop", got)
+	}
+}

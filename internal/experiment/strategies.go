@@ -1,0 +1,63 @@
+package experiment
+
+import (
+	"imc2/internal/auction"
+	"imc2/internal/strategy"
+)
+
+// ablationStrategies (A4) — behavioural truthfulness: mean per-worker
+// utility when a deviating worker follows a markup or shading strategy of
+// increasing aggressiveness, with everyone else truthful. Rate 0 is the
+// truthful baseline for both series; Theorem 3 predicts no rate beats it.
+func ablationStrategies(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:     "a4",
+		Title:  "mean deviator utility vs strategy aggressiveness (rate 0 = truthful)",
+		XLabel: "deviation rate",
+		YLabel: "mean utility",
+	}
+	rates := cfg.sweep([]float64{0, 0.25, 0.5, 0.75, 1}, []float64{0, 0.5})
+
+	// A pool of feasible instances shared by every strategy, so the
+	// comparison is paired.
+	spec := cfg.baseSpec()
+	spec.RequirementLow, spec.RequirementHigh = 0.5, 1.5
+	spec.MinProvidersPerTask = 5
+	spec.ParticipationDecay = 0.3
+	if !cfg.Quick {
+		spec.Workers = 40
+		spec.Tasks = 40
+		spec.Copiers = 10
+		spec.TasksPerWorker = 15
+	}
+	var instances []*auction.Instance
+	for rep := 0; rep < cfg.reps(); rep++ {
+		in, err := auctionInstance(cfg, "a4", spec, 0, rep)
+		if err != nil {
+			return nil, err
+		}
+		instances = append(instances, in)
+	}
+
+	for _, rate := range rates {
+		for _, series := range []string{"markup", "shade"} {
+			var strat strategy.Strategy = strategy.Truthful{}
+			if rate > 0 {
+				if series == "markup" {
+					strat = strategy.Markup{Rate: rate}
+				} else {
+					strat = strategy.Shade{Rate: rate}
+				}
+			}
+			rep, err := strategy.Simulate(instances, strat,
+				rngFor(cfg, "a4", rate, 0).Split(series))
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, Row{
+				Series: series, X: rate, Y: rep.MeanUtility, N: rep.Samples,
+			})
+		}
+	}
+	return t, nil
+}

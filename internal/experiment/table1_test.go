@@ -1,0 +1,73 @@
+package experiment
+
+import (
+	"testing"
+
+	"imc2/internal/stats"
+	"imc2/internal/truth"
+)
+
+func TestTable1ExtendedOverturnsCopiedMajorities(t *testing.T) {
+	ds, groundTruth, err := Table1Extended()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumTasks() != 10 || ds.NumWorkers() != 5 {
+		t.Fatalf("extended table = %d tasks, %d workers", ds.NumTasks(), ds.NumWorkers())
+	}
+
+	mv, err := truth.Discover(ds, truth.MethodMV, truth.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := truth.DefaultOptions()
+	opt.CopyProb = 0.8
+	date, err := truth.Discover(ds, truth.MethodDATE, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pMV := stats.Precision(mv.TruthMap(ds), groundTruth)
+	pDATE := stats.Precision(date.TruthMap(ds), groundTruth)
+	if pDATE <= pMV {
+		t.Fatalf("DATE %v not above MV %v on the extended table", pDATE, pMV)
+	}
+
+	// The copier trio must carry a much stronger dependence posterior
+	// than the honest pair.
+	idx := func(w string) int {
+		i, ok := ds.WorkerIndex(w)
+		if !ok {
+			t.Fatalf("worker %q missing", w)
+		}
+		return i
+	}
+	trio := date.Dependence[idx("w4")][idx("w5")] + date.Dependence[idx("w5")][idx("w4")]
+	honest := date.Dependence[idx("w1")][idx("w2")] + date.Dependence[idx("w2")][idx("w1")]
+	if trio < 4*honest {
+		t.Errorf("copier-pair dependence %v not well above honest pair %v", trio, honest)
+	}
+}
+
+func TestTable1ExtendedNCStillFooled(t *testing.T) {
+	// NC has no dependence model, so the copied majorities survive.
+	ds, groundTruth, err := Table1Extended()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := truth.DefaultOptions()
+	opt.CopyProb = 0.8
+	nc, err := truth.Discover(ds, truth.MethodNC, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	date, err := truth.Discover(ds, truth.MethodDATE, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pNC := stats.Precision(nc.TruthMap(ds), groundTruth)
+	pDATE := stats.Precision(date.TruthMap(ds), groundTruth)
+	if pDATE <= pNC {
+		t.Fatalf("DATE %v not above NC %v — the gap IS the dependence model", pDATE, pNC)
+	}
+}

@@ -1,0 +1,53 @@
+package numeric
+
+import "math"
+
+// eulerMascheroni is the Euler–Mascheroni constant γ.
+const eulerMascheroni = 0.5772156649015328606
+
+// harmonicExactLimit is the largest n for which Harmonic sums directly.
+const harmonicExactLimit = 1 << 20
+
+// Harmonic returns the n-th harmonic number H_n = 1 + 1/2 + ... + 1/n.
+// H_0 = 0. For very large n it switches to the asymptotic expansion
+// H_n ≈ ln n + γ + 1/(2n) − 1/(12n²), whose error is below 1e-12 there.
+//
+// The approximation bound of IMC2 (Theorem 3) is 2εH_Ω where
+// Ω = Σⱼ Θⱼ/Δv; experiments evaluate that bound explicitly.
+func Harmonic(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	if n <= harmonicExactLimit {
+		var k KahanSum
+		for i := n; i >= 1; i-- { // ascending magnitude improves accuracy
+			k.Add(1 / float64(i))
+		}
+		return k.Sum()
+	}
+	fn := float64(n)
+	return math.Log(fn) + eulerMascheroni + 1/(2*fn) - 1/(12*fn*fn)
+}
+
+// HarmonicReal extends H to positive real arguments via the asymptotic
+// expansion anchored at an integer shift; used for the H_Ω bound where
+// Ω = Σ Θⱼ/Δv is fractional.
+func HarmonicReal(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	// Shift x upward until the asymptotic series is accurate, then walk back.
+	const shiftTo = 32.0
+	shift := 0
+	xs := x
+	for xs < shiftTo {
+		xs++
+		shift++
+	}
+	h := math.Log(xs) + eulerMascheroni + 1/(2*xs) - 1/(12*xs*xs) + 1/(120*math.Pow(xs, 4))
+	for i := 0; i < shift; i++ {
+		xs--
+		h -= 1 / (xs + 1)
+	}
+	return h
+}

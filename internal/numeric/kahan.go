@@ -1,0 +1,43 @@
+package numeric
+
+// KahanSum accumulates float64 values with Kahan–Babuška compensated
+// summation. The zero value is ready to use.
+//
+// Experiment harnesses sum per-instance metrics over hundreds of
+// repetitions; compensation keeps those aggregates independent of
+// accumulation order.
+type KahanSum struct {
+	sum float64
+	c   float64
+}
+
+// Add accumulates x.
+func (k *KahanSum) Add(x float64) {
+	y := x - k.c
+	t := k.sum + y
+	k.c = (t - k.sum) - y
+	k.sum = t
+}
+
+// Sum returns the compensated total.
+func (k *KahanSum) Sum() float64 { return k.sum }
+
+// Reset clears the accumulator.
+func (k *KahanSum) Reset() { k.sum, k.c = 0, 0 }
+
+// Sum returns the compensated sum of xs.
+func Sum(xs []float64) float64 {
+	var k KahanSum
+	for _, x := range xs {
+		k.Add(x)
+	}
+	return k.Sum()
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return Sum(xs) / float64(len(xs))
+}

@@ -1,0 +1,101 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+)
+
+func TestKahanSumCompensates(t *testing.T) {
+	// 1 + 1e-16 repeated: naive summation loses the small addends entirely.
+	var k KahanSum
+	k.Add(1)
+	for i := 0; i < 10_000_000; i++ {
+		k.Add(1e-16)
+	}
+	want := 1 + 1e-16*1e7
+	if !AlmostEqual(k.Sum(), want, 1e-12) {
+		t.Fatalf("KahanSum = %.17g, want %.17g", k.Sum(), want)
+	}
+}
+
+func TestKahanReset(t *testing.T) {
+	var k KahanSum
+	k.Add(5)
+	k.Reset()
+	if k.Sum() != 0 {
+		t.Fatalf("after Reset, Sum = %v, want 0", k.Sum())
+	}
+}
+
+func TestSumAndMean(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if got := Sum(xs); got != 10 {
+		t.Errorf("Sum = %v, want 10", got)
+	}
+	if got := Mean(xs); got != 2.5 {
+		t.Errorf("Mean = %v, want 2.5", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v, want 0", got)
+	}
+}
+
+func TestHarmonic(t *testing.T) {
+	tests := []struct {
+		n    int
+		want float64
+	}{
+		{0, 0},
+		{-3, 0},
+		{1, 1},
+		{2, 1.5},
+		{4, 1 + 0.5 + 1.0/3 + 0.25},
+		{100, 5.187377517639621},
+	}
+	for _, tt := range tests {
+		if got := Harmonic(tt.n); !AlmostEqual(got, tt.want, 1e-12) {
+			t.Errorf("Harmonic(%d) = %v, want %v", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestHarmonicLargeMatchesAsymptotic(t *testing.T) {
+	// At the crossover the exact sum and the asymptotic formula must agree.
+	n := harmonicExactLimit
+	exact := Harmonic(n)
+	fn := float64(n + 1)
+	asym := math.Log(fn) + eulerMascheroni + 1/(2*fn) - 1/(12*fn*fn)
+	if math.Abs(exact+1/fn-asym) > 1e-9 {
+		t.Fatalf("crossover mismatch: exact=%v asym=%v", exact, asym)
+	}
+	if got := Harmonic(n * 2); got <= exact {
+		t.Fatalf("Harmonic not increasing across asymptotic switch: %v <= %v", got, exact)
+	}
+}
+
+func TestHarmonicRealMatchesIntegerPoints(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 10, 50, 200} {
+		hi := Harmonic(n)
+		hr := HarmonicReal(float64(n))
+		if math.Abs(hi-hr) > 1e-9 {
+			t.Errorf("HarmonicReal(%d) = %v, want %v", n, hr, hi)
+		}
+	}
+	if got := HarmonicReal(0); got != 0 {
+		t.Errorf("HarmonicReal(0) = %v, want 0", got)
+	}
+	if got := HarmonicReal(-1); got != 0 {
+		t.Errorf("HarmonicReal(-1) = %v, want 0", got)
+	}
+}
+
+func TestHarmonicRealMonotone(t *testing.T) {
+	prev := 0.0
+	for x := 0.5; x < 100; x += 0.5 {
+		h := HarmonicReal(x)
+		if h < prev {
+			t.Fatalf("HarmonicReal not monotone at %v: %v < %v", x, h, prev)
+		}
+		prev = h
+	}
+}

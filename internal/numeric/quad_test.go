@@ -1,0 +1,93 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSimpsonPolynomials(t *testing.T) {
+	tests := []struct {
+		name string
+		f    Integrand
+		a, b float64
+		n    int
+		want float64
+	}{
+		{"constant", func(x float64) float64 { return 2 }, 0, 1, 4, 2},
+		{"linear", func(x float64) float64 { return x }, 0, 1, 4, 0.5},
+		{"quadratic", func(x float64) float64 { return x * x }, 0, 1, 2, 1.0 / 3},
+		{"cubic exact", func(x float64) float64 { return x * x * x }, 0, 2, 2, 4},
+		{"uniform density h^2", func(h float64) float64 { return h * h }, 0, 1, 64, 1.0 / 3},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := Simpson(tt.f, tt.a, tt.b, tt.n)
+			if !AlmostEqual(got, tt.want, 1e-10) {
+				t.Fatalf("Simpson = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestSimpsonOddPanelsRounded(t *testing.T) {
+	got := Simpson(func(x float64) float64 { return x * x }, 0, 1, 3)
+	if !AlmostEqual(got, 1.0/3, 1e-10) {
+		t.Fatalf("Simpson with odd n = %v, want 1/3", got)
+	}
+}
+
+func TestGaussLegendre5(t *testing.T) {
+	// Exact for degree <= 9.
+	f := func(x float64) float64 { return 9 * math.Pow(x, 8) }
+	got := GaussLegendre5(f, 0, 1, 1)
+	if !AlmostEqual(got, 1, 1e-12) {
+		t.Fatalf("GL5(9x^8) = %v, want 1", got)
+	}
+	// Composite on a transcendental function.
+	got = GaussLegendre5(math.Sin, 0, math.Pi, 8)
+	if !AlmostEqual(got, 2, 1e-10) {
+		t.Fatalf("GL5(sin, 0, pi) = %v, want 2", got)
+	}
+}
+
+func TestAdaptiveSimpson(t *testing.T) {
+	got, err := AdaptiveSimpson(math.Exp, 0, 1, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.E - 1
+	if !AlmostEqual(got, want, 1e-10) {
+		t.Fatalf("AdaptiveSimpson(exp) = %v, want %v", got, want)
+	}
+}
+
+func TestAdaptiveSimpsonErrors(t *testing.T) {
+	if _, err := AdaptiveSimpson(math.Exp, 0, 1, 0); err == nil {
+		t.Error("zero tolerance: want error")
+	}
+	if _, err := AdaptiveSimpson(math.Exp, math.NaN(), 1, 1e-6); err == nil {
+		t.Error("NaN bound: want error")
+	}
+	nanF := func(x float64) float64 { return math.NaN() }
+	if _, err := AdaptiveSimpson(nanF, 0, 1, 1e-6); err == nil {
+		t.Error("NaN integrand: want error")
+	}
+}
+
+func TestQuadratureAgreement(t *testing.T) {
+	// All three rules agree on a smooth density integral used by §IV-B:
+	// f(h) = 6h(1-h) (a Beta(2,2) density), integral of h^2 f(h) over [0,1].
+	f := func(h float64) float64 { return h * h * 6 * h * (1 - h) }
+	want := 0.3 // ∫ 6h^3(1-h) dh = 6(1/4 - 1/5)
+	s := Simpson(f, 0, 1, 512)
+	g := GaussLegendre5(f, 0, 1, 4)
+	a, err := AdaptiveSimpson(f, 0, 1, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, got := range map[string]float64{"simpson": s, "gauss": g, "adaptive": a} {
+		if !AlmostEqual(got, want, 1e-9) {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+}

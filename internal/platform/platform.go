@@ -1,0 +1,313 @@
+// Package platform implements the crowdsourcing campaign lifecycle of the
+// paper's Fig. 1: the platform publicizes tasks with accuracy
+// requirements, workers submit sealed bids together with their data, the
+// platform runs truth discovery (estimating worker accuracies), and a
+// reverse auction selects winners and computes payments.
+package platform
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"imc2/internal/auction"
+	"imc2/internal/model"
+	"imc2/internal/truth"
+)
+
+// Mechanism selects the auction algorithm for the second stage.
+type Mechanism int
+
+const (
+	// MechanismReverseAuction is Algorithm 2 (the IMC2 mechanism).
+	MechanismReverseAuction Mechanism = iota + 1
+	// MechanismGreedyAccuracy is the GA baseline.
+	MechanismGreedyAccuracy
+	// MechanismGreedyBid is the GB baseline.
+	MechanismGreedyBid
+)
+
+// String names the mechanism as the paper does.
+func (m Mechanism) String() string {
+	switch m {
+	case MechanismReverseAuction:
+		return "ReverseAuction"
+	case MechanismGreedyAccuracy:
+		return "GA"
+	case MechanismGreedyBid:
+		return "GB"
+	default:
+		return fmt.Sprintf("Mechanism(%d)", int(m))
+	}
+}
+
+// Config assembles both stages of IMC2.
+type Config struct {
+	// TruthMethod selects the stage-1 algorithm (default DATE).
+	TruthMethod truth.Method
+	// TruthOptions parameterizes stage 1 (default truth.DefaultOptions).
+	TruthOptions truth.Options
+	// Mechanism selects the stage-2 auction (default ReverseAuction).
+	Mechanism Mechanism
+}
+
+// DefaultConfig returns the paper's configuration: DATE + ReverseAuction.
+func DefaultConfig() Config {
+	return Config{
+		TruthMethod:  truth.MethodDATE,
+		TruthOptions: truth.DefaultOptions(),
+		Mechanism:    MechanismReverseAuction,
+	}
+}
+
+// Submission is one worker's sealed envelope: the bid price and the data
+// for the tasks the worker performed (D_i determines T_i).
+type Submission struct {
+	Worker string
+	// Price is the claimed cost b_i.
+	Price float64
+	// Answers maps task ID → value.
+	Answers map[string]string
+}
+
+// ErrDuplicateSubmission reports a worker submitting twice.
+var ErrDuplicateSubmission = errors.New("platform: worker already submitted")
+
+// Platform runs one campaign. Construct with New, feed with Submit, and
+// settle with Run.
+type Platform struct {
+	tasks   []model.Task
+	taskIDs map[string]bool
+	subs    []Submission
+	byID    map[string]bool
+	audit   *Audit
+}
+
+// New opens a campaign over the given tasks.
+func New(tasks []model.Task) (*Platform, error) {
+	if len(tasks) == 0 {
+		return nil, errors.New("platform: campaign needs at least one task")
+	}
+	p := &Platform{
+		taskIDs: make(map[string]bool, len(tasks)),
+		byID:    make(map[string]bool),
+	}
+	for _, t := range tasks {
+		if err := t.Validate(); err != nil {
+			return nil, err
+		}
+		if p.taskIDs[t.ID] {
+			return nil, fmt.Errorf("platform: duplicate task %q", t.ID)
+		}
+		p.taskIDs[t.ID] = true
+		p.tasks = append(p.tasks, t)
+	}
+	return p, nil
+}
+
+// Tasks returns the published task list.
+func (p *Platform) Tasks() []model.Task {
+	return append([]model.Task(nil), p.tasks...)
+}
+
+// Submit registers a sealed submission. Each worker may submit once; the
+// submission must bid a non-negative price and answer at least one
+// published task.
+func (p *Platform) Submit(sub Submission) error {
+	if err := (model.Bid{Worker: sub.Worker, Price: sub.Price}).Validate(); err != nil {
+		return err
+	}
+	if p.byID[sub.Worker] {
+		return fmt.Errorf("%w: %q", ErrDuplicateSubmission, sub.Worker)
+	}
+	if len(sub.Answers) == 0 {
+		return fmt.Errorf("platform: submission from %q has no answers", sub.Worker)
+	}
+	for taskID, v := range sub.Answers {
+		if !p.taskIDs[taskID] {
+			return fmt.Errorf("platform: %q answered unpublished task %q", sub.Worker, taskID)
+		}
+		if v == "" {
+			return fmt.Errorf("platform: %q submitted an empty value for %q", sub.Worker, taskID)
+		}
+	}
+	p.byID[sub.Worker] = true
+	p.subs = append(p.subs, sub)
+	return nil
+}
+
+// Submissions returns how many workers have submitted.
+func (p *Platform) Submissions() int { return len(p.subs) }
+
+// Report is the settled campaign outcome.
+type Report struct {
+	// Truth maps task ID → estimated value.
+	Truth map[string]string
+	// Winners lists winning worker IDs in selection order.
+	Winners []string
+	// Payments maps worker ID → payment (winners only).
+	Payments map[string]float64
+	// WorkerAccuracy maps worker ID → estimated mean accuracy.
+	WorkerAccuracy map[string]float64
+	// SocialCost is the winners' total bid (the SOAC objective).
+	SocialCost float64
+	// TotalPayment is the platform's outlay.
+	TotalPayment float64
+	// PlatformUtility is V(S) − Σp (eq. 2).
+	PlatformUtility float64
+	// TruthIterations is how many refinement rounds stage 1 used.
+	TruthIterations int
+	// Converged reports stage-1 convergence.
+	Converged bool
+}
+
+// SuspectPair is a worker pair the platform flags for audit, with the
+// posterior copying probabilities in both directions.
+type SuspectPair struct {
+	WorkerA, WorkerB string
+	AtoB, BtoA       float64
+}
+
+// Audit lists the TopK most dependence-suspicious worker pairs (and each
+// worker's copier score) discovered during Run. Empty until Run executes
+// with a dependence-aware method.
+type Audit struct {
+	Pairs        []SuspectPair
+	CopierScores map[string]float64
+}
+
+// Run executes both stages and settles the campaign.
+func (p *Platform) Run(cfg Config) (*Report, error) {
+	ds, bids, err := p.assemble()
+	if err != nil {
+		return nil, err
+	}
+	res, err := truth.Discover(ds, cfg.TruthMethod, cfg.TruthOptions)
+	if err != nil {
+		return nil, fmt.Errorf("platform: truth discovery: %w", err)
+	}
+	p.audit = buildAudit(ds, res, 20)
+	in := BuildInstance(ds, res.Accuracy, bids)
+	var out *auction.Outcome
+	switch cfg.Mechanism {
+	case MechanismReverseAuction:
+		out, err = auction.ReverseAuction(in)
+	case MechanismGreedyAccuracy:
+		out, err = auction.GreedyAccuracy(in)
+	case MechanismGreedyBid:
+		out, err = auction.GreedyBid(in)
+	default:
+		return nil, fmt.Errorf("platform: unknown mechanism %v", cfg.Mechanism)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("platform: %v: %w", cfg.Mechanism, err)
+	}
+
+	values := make([]float64, ds.NumTasks())
+	for j := 0; j < ds.NumTasks(); j++ {
+		values[j] = ds.Task(j).Value
+	}
+	report := &Report{
+		Truth:           res.TruthMap(ds),
+		Payments:        make(map[string]float64, len(out.Winners)),
+		WorkerAccuracy:  make(map[string]float64, ds.NumWorkers()),
+		SocialCost:      out.SocialCost,
+		TotalPayment:    out.TotalPayment,
+		PlatformUtility: auction.PlatformUtility(in, values, out),
+		TruthIterations: res.Iterations,
+		Converged:       res.Converged,
+	}
+	for _, i := range out.Winners {
+		id := ds.WorkerID(i)
+		report.Winners = append(report.Winners, id)
+		report.Payments[id] = out.Payments[i]
+	}
+	for i, a := range res.WorkerAccuracy(ds) {
+		report.WorkerAccuracy[ds.WorkerID(i)] = a
+	}
+	return report, nil
+}
+
+// assemble compiles the submissions into the dataset plus a bid vector
+// aligned with the dataset's worker indexing.
+func (p *Platform) assemble() (*model.Dataset, []float64, error) {
+	if len(p.subs) == 0 {
+		return nil, nil, errors.New("platform: no submissions")
+	}
+	b := model.NewBuilder()
+	for _, t := range p.tasks {
+		b.AddTask(t)
+	}
+	for _, sub := range p.subs {
+		// Deterministic task order within a submission.
+		ids := make([]string, 0, len(sub.Answers))
+		for taskID := range sub.Answers {
+			ids = append(ids, taskID)
+		}
+		sort.Strings(ids)
+		for _, taskID := range ids {
+			b.AddObservation(sub.Worker, taskID, sub.Answers[taskID])
+		}
+	}
+	ds, err := b.Build()
+	if err != nil {
+		return nil, nil, fmt.Errorf("platform: assembling dataset: %w", err)
+	}
+	bids := make([]float64, ds.NumWorkers())
+	for _, sub := range p.subs {
+		i, ok := ds.WorkerIndex(sub.Worker)
+		if !ok {
+			return nil, nil, fmt.Errorf("platform: worker %q lost during assembly", sub.Worker)
+		}
+		bids[i] = sub.Price
+	}
+	return ds, bids, nil
+}
+
+// LastAudit returns the dependence audit of the most recent Run, or nil
+// if no dependence-aware run has settled yet.
+func (p *Platform) LastAudit() *Audit { return p.audit }
+
+// buildAudit converts a truth result's dependence posterior into the
+// platform's audit report.
+func buildAudit(ds *model.Dataset, res *truth.Result, topK int) *Audit {
+	pairs := res.RankDependentPairs()
+	if pairs == nil {
+		return nil
+	}
+	if len(pairs) > topK {
+		pairs = pairs[:topK]
+	}
+	a := &Audit{CopierScores: make(map[string]float64, ds.NumWorkers())}
+	for _, pr := range pairs {
+		a.Pairs = append(a.Pairs, SuspectPair{
+			WorkerA: ds.WorkerID(pr.A),
+			WorkerB: ds.WorkerID(pr.B),
+			AtoB:    pr.AtoB,
+			BtoA:    pr.BtoA,
+		})
+	}
+	for i, score := range res.CopierScores() {
+		a.CopierScores[ds.WorkerID(i)] = score
+	}
+	return a
+}
+
+// BuildInstance converts a dataset plus an accuracy matrix and bid vector
+// into the SOAC instance the auction stage consumes.
+func BuildInstance(ds *model.Dataset, accuracy [][]float64, bids []float64) *auction.Instance {
+	n, m := ds.NumWorkers(), ds.NumTasks()
+	in := &auction.Instance{
+		Bids:         append([]float64(nil), bids...),
+		TaskSets:     make([][]int, n),
+		Accuracy:     accuracy,
+		Requirements: make([]float64, m),
+	}
+	for i := 0; i < n; i++ {
+		in.TaskSets[i] = append([]int(nil), ds.WorkerTasks(i)...)
+	}
+	for j := 0; j < m; j++ {
+		in.Requirements[j] = ds.Task(j).Requirement
+	}
+	return in
+}

@@ -1,0 +1,109 @@
+package randx
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Zipf draws ranks in [0, n) following a Zipf(s) law: rank k has
+// probability proportional to 1/(k+1)^s. Used to model non-uniform
+// false-value popularity ("most people think Sydney is the capital").
+type Zipf struct {
+	cdf []float64
+}
+
+// NewZipf builds a Zipf sampler over n ranks with exponent s >= 0.
+// s = 0 degenerates to the uniform distribution.
+func NewZipf(n int, s float64) (*Zipf, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("randx: Zipf needs n > 0, got %d", n)
+	}
+	if s < 0 || math.IsNaN(s) {
+		return nil, fmt.Errorf("randx: Zipf exponent %v must be >= 0", s)
+	}
+	weights := make([]float64, n)
+	var total float64
+	for k := 0; k < n; k++ {
+		weights[k] = 1 / math.Pow(float64(k+1), s)
+		total += weights[k]
+	}
+	cdf := make([]float64, n)
+	var acc float64
+	for k := 0; k < n; k++ {
+		acc += weights[k] / total
+		cdf[k] = acc
+	}
+	cdf[n-1] = 1 // guard against rounding
+	return &Zipf{cdf: cdf}, nil
+}
+
+// Sample draws one rank.
+func (z *Zipf) Sample(g *RNG) int {
+	u := g.Float64()
+	return sort.SearchFloat64s(z.cdf, u)
+}
+
+// Probabilities returns a copy of the per-rank probability vector.
+func (z *Zipf) Probabilities() []float64 {
+	out := make([]float64, len(z.cdf))
+	prev := 0.0
+	for i, c := range z.cdf {
+		out[i] = c - prev
+		prev = c
+	}
+	return out
+}
+
+// Categorical samples from an explicit finite distribution.
+type Categorical struct {
+	cdf []float64
+}
+
+// NewCategorical builds a sampler over the given non-negative weights,
+// which need not be normalized.
+func NewCategorical(weights []float64) (*Categorical, error) {
+	if len(weights) == 0 {
+		return nil, fmt.Errorf("randx: Categorical needs at least one weight")
+	}
+	var total float64
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			return nil, fmt.Errorf("randx: Categorical weight[%d] = %v invalid", i, w)
+		}
+		total += w
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("randx: Categorical weights sum to zero")
+	}
+	cdf := make([]float64, len(weights))
+	var acc float64
+	for i, w := range weights {
+		acc += w / total
+		cdf[i] = acc
+	}
+	cdf[len(cdf)-1] = 1
+	return &Categorical{cdf: cdf}, nil
+}
+
+// Sample draws one index.
+func (c *Categorical) Sample(g *RNG) int {
+	u := g.Float64()
+	return sort.SearchFloat64s(c.cdf, u)
+}
+
+// TruncNormal draws from N(mean, stddev) truncated to [lo, hi] by
+// rejection, falling back to clamping after a bounded number of attempts so
+// the sampler cannot spin on pathological bounds.
+func (g *RNG) TruncNormal(mean, stddev, lo, hi float64) float64 {
+	if hi < lo {
+		panic(fmt.Sprintf("randx: TruncNormal bounds inverted [%v, %v]", lo, hi))
+	}
+	for i := 0; i < 64; i++ {
+		x := g.Normal(mean, stddev)
+		if x >= lo && x <= hi {
+			return x
+		}
+	}
+	return math.Min(hi, math.Max(lo, mean))
+}

@@ -1,0 +1,119 @@
+package randx
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewZipfValidation(t *testing.T) {
+	if _, err := NewZipf(0, 1); err == nil {
+		t.Error("NewZipf(0, 1): want error")
+	}
+	if _, err := NewZipf(3, -1); err == nil {
+		t.Error("NewZipf(3, -1): want error")
+	}
+	if _, err := NewZipf(3, math.NaN()); err == nil {
+		t.Error("NewZipf(3, NaN): want error")
+	}
+}
+
+func TestZipfUniformWhenSZero(t *testing.T) {
+	z, err := NewZipf(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := z.Probabilities()
+	for i, p := range ps {
+		if math.Abs(p-0.25) > 1e-12 {
+			t.Errorf("p[%d] = %v, want 0.25", i, p)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	z, err := NewZipf(5, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := z.Probabilities()
+	for i := 1; i < len(ps); i++ {
+		if ps[i] >= ps[i-1] {
+			t.Fatalf("Zipf probabilities not decreasing: p[%d]=%v >= p[%d]=%v",
+				i, ps[i], i-1, ps[i-1])
+		}
+	}
+	var sum float64
+	for _, p := range ps {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("Zipf probabilities sum to %v", sum)
+	}
+}
+
+func TestZipfSampleFrequencies(t *testing.T) {
+	z, err := NewZipf(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := New(77)
+	counts := make([]int, 3)
+	const n = 30000
+	for i := 0; i < n; i++ {
+		counts[z.Sample(g)]++
+	}
+	ps := z.Probabilities()
+	for k, c := range counts {
+		got := float64(c) / n
+		if math.Abs(got-ps[k]) > 0.02 {
+			t.Errorf("rank %d frequency %v, want ~%v", k, got, ps[k])
+		}
+	}
+}
+
+func TestCategoricalValidation(t *testing.T) {
+	if _, err := NewCategorical(nil); err == nil {
+		t.Error("empty weights: want error")
+	}
+	if _, err := NewCategorical([]float64{1, -1}); err == nil {
+		t.Error("negative weight: want error")
+	}
+	if _, err := NewCategorical([]float64{0, 0}); err == nil {
+		t.Error("all-zero weights: want error")
+	}
+	if _, err := NewCategorical([]float64{1, math.NaN()}); err == nil {
+		t.Error("NaN weight: want error")
+	}
+}
+
+func TestCategoricalFrequencies(t *testing.T) {
+	c, err := NewCategorical([]float64{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := New(3)
+	var ones int
+	const n = 40000
+	for i := 0; i < n; i++ {
+		if c.Sample(g) == 1 {
+			ones++
+		}
+	}
+	got := float64(ones) / n
+	if math.Abs(got-0.75) > 0.01 {
+		t.Fatalf("P(1) = %v, want ~0.75", got)
+	}
+}
+
+func TestCategoricalZeroWeightNeverSampled(t *testing.T) {
+	c, err := NewCategorical([]float64{0, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := New(9)
+	for i := 0; i < 1000; i++ {
+		if got := c.Sample(g); got != 1 {
+			t.Fatalf("sampled index %d with zero weight", got)
+		}
+	}
+}

@@ -1,0 +1,296 @@
+// Package simil provides the value-similarity functions for the
+// multiple-presentations extension of DATE (paper §IV-A).
+//
+// The paper suggests converting values to vectors and comparing them with
+// Euclidean distance, Pearson correlation, asymmetric similarity, or
+// cosine similarity. Offline and stdlib-only, this package vectorizes
+// values as character n-gram counts — which captures the
+// abbreviation/typo similarity the extension targets ("UWisc" vs "UWise",
+// "Information Technology" vs "InformationTechnology") — and implements
+// all four similarity functions over those vectors, plus two classic
+// string similarities (normalized Levenshtein and token Jaccard).
+//
+// All functions return values in [0, 1], where 1 means identical.
+package simil
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Func scores the similarity of two values in [0, 1].
+type Func func(a, b string) float64
+
+// ngrams returns the character n-gram count vector of s (lower-cased,
+// whitespace collapsed). For strings shorter than n the whole string is
+// the only gram.
+func ngrams(s string, n int) map[string]float64 {
+	s = strings.ToLower(strings.Join(strings.Fields(s), " "))
+	out := make(map[string]float64)
+	if len(s) == 0 {
+		return out
+	}
+	if len(s) < n {
+		out[s]++
+		return out
+	}
+	for i := 0; i+n <= len(s); i++ {
+		out[s[i:i+n]]++
+	}
+	return out
+}
+
+// defaultN is the n-gram width used by the vector-based similarities;
+// trigrams are the usual sweet spot for short noisy strings.
+const defaultN = 3
+
+// Cosine returns the cosine similarity of the n-gram vectors.
+func Cosine(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	va, vb := ngrams(a, defaultN), ngrams(b, defaultN)
+	return cosineVec(va, vb)
+}
+
+func cosineVec(va, vb map[string]float64) float64 {
+	if len(va) == 0 || len(vb) == 0 {
+		return 0
+	}
+	var dot, na, nb float64
+	for g, x := range va {
+		na += x * x
+		if y, ok := vb[g]; ok {
+			dot += x * y
+		}
+	}
+	for _, y := range vb {
+		nb += y * y
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return clamp01(dot / math.Sqrt(na*nb))
+}
+
+// Euclidean returns 1 − d/√2 where d is the Euclidean distance between
+// the L2-normalized n-gram vectors. Identical values score 1; vectors with
+// no shared grams are orthogonal (d = √2) and score 0.
+func Euclidean(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	va, vb := ngrams(a, defaultN), ngrams(b, defaultN)
+	if len(va) == 0 || len(vb) == 0 {
+		return 0
+	}
+	normalize(va)
+	normalize(vb)
+	var sq float64
+	for g, x := range va {
+		d := x - vb[g]
+		sq += d * d
+	}
+	for g, y := range vb {
+		if _, ok := va[g]; !ok {
+			sq += y * y
+		}
+	}
+	return clamp01(1 - math.Sqrt(sq)/math.Sqrt2)
+}
+
+// Pearson returns the positive part of the Pearson correlation between the
+// n-gram count vectors over their union support.
+func Pearson(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	va, vb := ngrams(a, defaultN), ngrams(b, defaultN)
+	if len(va) == 0 || len(vb) == 0 {
+		return 0
+	}
+	union := make(map[string]struct{}, len(va)+len(vb))
+	for g := range va {
+		union[g] = struct{}{}
+	}
+	for g := range vb {
+		union[g] = struct{}{}
+	}
+	n := float64(len(union))
+	if n < 2 {
+		if cosineVec(va, vb) > 0 {
+			return 1
+		}
+		return 0
+	}
+	var sa, sb float64
+	for g := range union {
+		sa += va[g]
+		sb += vb[g]
+	}
+	ma, mb := sa/n, sb/n
+	var cov, varA, varB float64
+	for g := range union {
+		da, db := va[g]-ma, vb[g]-mb
+		cov += da * db
+		varA += da * da
+		varB += db * db
+	}
+	if varA == 0 || varB == 0 {
+		return 0
+	}
+	r := cov / math.Sqrt(varA*varB)
+	if r < 0 {
+		return 0
+	}
+	return clamp01(r)
+}
+
+// Asymmetric returns |grams(a) ∩ grams(b)| / |grams(a)|: how much of a is
+// contained in b. It scores abbreviations highly against their expansions.
+func Asymmetric(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	va, vb := ngrams(a, defaultN), ngrams(b, defaultN)
+	if len(va) == 0 {
+		return 0
+	}
+	var inter, total float64
+	for g, x := range va {
+		total += x
+		if y, ok := vb[g]; ok {
+			inter += math.Min(x, y)
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return clamp01(inter / total)
+}
+
+// Levenshtein returns 1 − editDistance/maxLen, a normalized edit
+// similarity.
+func Levenshtein(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	ra, rb := []rune(a), []rune(b)
+	la, lb := len(ra), len(rb)
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	prev := make([]int, lb+1)
+	cur := make([]int, lb+1)
+	for j := 0; j <= lb; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= la; i++ {
+		cur[0] = i
+		for j := 1; j <= lb; j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(cur[j-1]+1, prev[j]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	dist := float64(prev[lb])
+	maxLen := float64(la)
+	if lb > la {
+		maxLen = float64(lb)
+	}
+	return clamp01(1 - dist/maxLen)
+}
+
+// Jaccard returns the Jaccard similarity of the whitespace token sets.
+func Jaccard(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	ta := tokenSet(a)
+	tb := tokenSet(b)
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	var inter int
+	for tok := range ta {
+		if _, ok := tb[tok]; ok {
+			inter++
+		}
+	}
+	union := len(ta) + len(tb) - inter
+	return clamp01(float64(inter) / float64(union))
+}
+
+func tokenSet(s string) map[string]struct{} {
+	out := make(map[string]struct{})
+	for _, tok := range strings.Fields(strings.ToLower(s)) {
+		out[tok] = struct{}{}
+	}
+	return out
+}
+
+// ByName resolves a similarity function by its conventional name
+// (case-insensitive): cosine, euclidean, pearson, asymmetric,
+// levenshtein, jaccard.
+func ByName(name string) (Func, error) {
+	switch strings.ToLower(name) {
+	case "cosine":
+		return Cosine, nil
+	case "euclidean":
+		return Euclidean, nil
+	case "pearson":
+		return Pearson, nil
+	case "asymmetric":
+		return Asymmetric, nil
+	case "levenshtein":
+		return Levenshtein, nil
+	case "jaccard":
+		return Jaccard, nil
+	default:
+		return nil, fmt.Errorf("simil: unknown similarity %q", name)
+	}
+}
+
+// Names lists the registered similarity function names.
+func Names() []string {
+	return []string{"cosine", "euclidean", "pearson", "asymmetric", "levenshtein", "jaccard"}
+}
+
+func normalize(v map[string]float64) {
+	var n float64
+	for _, x := range v {
+		n += x * x
+	}
+	if n == 0 {
+		return
+	}
+	n = math.Sqrt(n)
+	for g := range v {
+		v[g] /= n
+	}
+}
+
+func clamp01(x float64) float64 {
+	switch {
+	case x < 0:
+		return 0
+	case x > 1:
+		return 1
+	default:
+		return x
+	}
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}

@@ -1,0 +1,175 @@
+package simil
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// allFuncs pairs every similarity with its name for table-driven sweeps.
+var allFuncs = []struct {
+	name string
+	fn   Func
+}{
+	{"cosine", Cosine},
+	{"euclidean", Euclidean},
+	{"pearson", Pearson},
+	{"asymmetric", Asymmetric},
+	{"levenshtein", Levenshtein},
+	{"jaccard", Jaccard},
+}
+
+func TestIdenticalStringsScoreOne(t *testing.T) {
+	for _, tf := range allFuncs {
+		t.Run(tf.name, func(t *testing.T) {
+			for _, s := range []string{"MIT", "Information Technology", "a", ""} {
+				if got := tf.fn(s, s); got != 1 {
+					t.Errorf("%s(%q, %q) = %v, want 1", tf.name, s, s, got)
+				}
+			}
+		})
+	}
+}
+
+func TestDisjointStringsScoreLow(t *testing.T) {
+	for _, tf := range allFuncs {
+		t.Run(tf.name, func(t *testing.T) {
+			got := tf.fn("aaaaaa", "zzzzzz")
+			if got > 0.2 {
+				t.Errorf("%s on disjoint strings = %v, want <= 0.2", tf.name, got)
+			}
+		})
+	}
+}
+
+func TestRangeProperty(t *testing.T) {
+	for _, tf := range allFuncs {
+		tf := tf
+		t.Run(tf.name, func(t *testing.T) {
+			f := func(a, b string) bool {
+				v := tf.fn(a, b)
+				return v >= 0 && v <= 1
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestSymmetricFunctions(t *testing.T) {
+	symmetric := []struct {
+		name string
+		fn   Func
+	}{
+		{"cosine", Cosine},
+		{"euclidean", Euclidean},
+		{"pearson", Pearson},
+		{"levenshtein", Levenshtein},
+		{"jaccard", Jaccard},
+	}
+	for _, tf := range symmetric {
+		tf := tf
+		t.Run(tf.name, func(t *testing.T) {
+			f := func(a, b string) bool {
+				d := tf.fn(a, b) - tf.fn(b, a)
+				return d < 1e-12 && d > -1e-12
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestTypoVariantsScoreHigh(t *testing.T) {
+	// The §IV-A motivating cases: spelling drift during copying.
+	pairs := [][2]string{
+		{"UWisc", "UWise"},
+		{"Information Technology", "information technology"},
+		{"Microsoft Research", "Microsoft Reserch"},
+	}
+	for _, tf := range []struct {
+		name string
+		fn   Func
+	}{{"cosine", Cosine}, {"levenshtein", Levenshtein}} {
+		for _, p := range pairs {
+			if got := tf.fn(p[0], p[1]); got < 0.5 {
+				t.Errorf("%s(%q, %q) = %v, want >= 0.5", tf.name, p[0], p[1], got)
+			}
+		}
+	}
+}
+
+func TestAsymmetricContainment(t *testing.T) {
+	// All of "tech"'s grams appear in "technology" — containment is 1-ish
+	// in one direction but not the other.
+	ab := Asymmetric("tech", "technology")
+	ba := Asymmetric("technology", "tech")
+	if ab <= ba {
+		t.Errorf("Asymmetric(tech, technology) = %v should exceed reverse %v", ab, ba)
+	}
+	if ab < 0.99 {
+		t.Errorf("containment score = %v, want ~1", ab)
+	}
+}
+
+func TestLevenshteinKnownDistances(t *testing.T) {
+	tests := []struct {
+		a, b string
+		want float64
+	}{
+		{"kitten", "sitting", 1 - 3.0/7},
+		{"abc", "abc", 1},
+		{"abc", "abd", 1 - 1.0/3},
+		{"", "abc", 0},
+		{"abc", "", 0},
+	}
+	for _, tt := range tests {
+		if got := Levenshtein(tt.a, tt.b); got < tt.want-1e-12 || got > tt.want+1e-12 {
+			t.Errorf("Levenshtein(%q, %q) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestJaccardTokens(t *testing.T) {
+	got := Jaccard("new york city", "york new")
+	want := 2.0 / 3
+	if got < want-1e-12 || got > want+1e-12 {
+		t.Errorf("Jaccard = %v, want %v", got, want)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range Names() {
+		fn, err := ByName(name)
+		if err != nil || fn == nil {
+			t.Errorf("ByName(%q) failed: %v", name, err)
+		}
+	}
+	if fn, err := ByName("COSINE"); err != nil || fn == nil {
+		t.Error("ByName should be case-insensitive")
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestEmptyVsNonEmpty(t *testing.T) {
+	for _, tf := range allFuncs {
+		if got := tf.fn("", "abc"); got != 0 {
+			t.Errorf("%s(\"\", abc) = %v, want 0", tf.name, got)
+		}
+	}
+}
+
+func TestShortStringsHandled(t *testing.T) {
+	// Strings shorter than the n-gram width fall back to whole-string
+	// grams; no panics, sane scores.
+	for _, tf := range allFuncs {
+		if got := tf.fn("ab", "ab"); got != 1 {
+			t.Errorf("%s(ab, ab) = %v, want 1", tf.name, got)
+		}
+		_ = tf.fn("a", "b")
+		_ = tf.fn("ab", "ba")
+	}
+}

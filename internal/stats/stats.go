@@ -1,0 +1,173 @@
+// Package stats provides the descriptive statistics and evaluation metrics
+// used by the IMC2 experiment harness: means, deviations, confidence
+// intervals, histograms, and the truth-discovery precision metric of the
+// paper (§VII-A).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"imc2/internal/numeric"
+)
+
+// Summary holds descriptive statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64 // sample standard deviation (n-1)
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes a Summary of xs. An empty sample yields a zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{
+		N:    len(xs),
+		Mean: numeric.Mean(xs),
+		Min:  math.Inf(1),
+		Max:  math.Inf(-1),
+	}
+	var sq numeric.KahanSum
+	for _, x := range xs {
+		d := x - s.Mean
+		sq.Add(d * d)
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	if s.N > 1 {
+		s.StdDev = math.Sqrt(sq.Sum() / float64(s.N-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return s
+}
+
+// StdErr returns the standard error of the mean.
+func (s Summary) StdErr() float64 {
+	if s.N == 0 {
+		return 0
+	}
+	return s.StdDev / math.Sqrt(float64(s.N))
+}
+
+// CI95 returns the half-width of an approximate 95% confidence interval for
+// the mean (normal approximation; the harness averages >= 30 repetitions).
+func (s Summary) CI95() float64 {
+	return 1.96 * s.StdErr()
+}
+
+// String renders the summary compactly for logs and tables.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g ±%.2g sd=%.4g min=%.4g max=%.4g",
+		s.N, s.Mean, s.CI95(), s.StdDev, s.Min, s.Max)
+}
+
+// Precision is the paper's truth-discovery metric: the fraction of tasks
+// whose estimated truth equals the ground truth,
+// precision = Σⱼ g(etⱼ = et*ⱼ) / |T|.
+// Tasks absent from estimated count as misses. Empty ground truth yields 0.
+func Precision(estimated, groundTruth map[string]string) float64 {
+	if len(groundTruth) == 0 {
+		return 0
+	}
+	correct := 0
+	for task, truth := range groundTruth {
+		if estimated[task] == truth {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(groundTruth))
+}
+
+// Histogram is a fixed-width binning of float64 samples.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	under  int
+	over   int
+	total  int
+}
+
+// NewHistogram creates a histogram over [lo, hi) with bins buckets.
+func NewHistogram(lo, hi float64, bins int) (*Histogram, error) {
+	if bins <= 0 {
+		return nil, fmt.Errorf("stats: histogram needs bins > 0, got %d", bins)
+	}
+	if !(hi > lo) {
+		return nil, fmt.Errorf("stats: histogram bounds [%v, %v) invalid", lo, hi)
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}, nil
+}
+
+// Observe adds x to the histogram. Out-of-range samples are tallied
+// separately and reported by Outliers.
+func (h *Histogram) Observe(x float64) {
+	h.total++
+	switch {
+	case x < h.Lo:
+		h.under++
+	case x >= h.Hi:
+		h.over++
+	default:
+		idx := int(float64(len(h.Counts)) * (x - h.Lo) / (h.Hi - h.Lo))
+		if idx == len(h.Counts) { // x == Hi-ulp edge case
+			idx--
+		}
+		h.Counts[idx]++
+	}
+}
+
+// Total returns the number of observed samples including outliers.
+func (h *Histogram) Total() int { return h.total }
+
+// Outliers returns the counts below Lo and at-or-above Hi.
+func (h *Histogram) Outliers() (under, over int) { return h.under, h.over }
+
+// Fraction returns the fraction of in-range samples in bin i.
+func (h *Histogram) Fraction(i int) float64 {
+	in := h.total - h.under - h.over
+	if in == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(in)
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation. It returns an error for empty input or q out of range.
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("stats: quantile of empty sample")
+	}
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		return 0, fmt.Errorf("stats: quantile %v out of [0,1]", q)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}

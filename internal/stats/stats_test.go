@@ -1,0 +1,201 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	tests := []struct {
+		name string
+		xs   []float64
+		want Summary
+	}{
+		{
+			name: "basic",
+			xs:   []float64{1, 2, 3, 4, 5},
+			want: Summary{N: 5, Mean: 3, StdDev: math.Sqrt(2.5), Min: 1, Max: 5, Median: 3},
+		},
+		{
+			name: "even length median",
+			xs:   []float64{1, 2, 3, 4},
+			want: Summary{N: 4, Mean: 2.5, StdDev: math.Sqrt(5.0 / 3), Min: 1, Max: 4, Median: 2.5},
+		},
+		{
+			name: "single",
+			xs:   []float64{7},
+			want: Summary{N: 1, Mean: 7, StdDev: 0, Min: 7, Max: 7, Median: 7},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := Summarize(tt.xs)
+			if got.N != tt.want.N || math.Abs(got.Mean-tt.want.Mean) > 1e-12 ||
+				math.Abs(got.StdDev-tt.want.StdDev) > 1e-12 ||
+				got.Min != tt.want.Min || got.Max != tt.want.Max ||
+				math.Abs(got.Median-tt.want.Median) > 1e-12 {
+				t.Fatalf("Summarize = %+v, want %+v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	got := Summarize(nil)
+	if got.N != 0 || got.Mean != 0 {
+		t.Fatalf("Summarize(nil) = %+v, want zero", got)
+	}
+	if got.StdErr() != 0 || got.CI95() != 0 {
+		t.Fatal("empty summary should have zero error bars")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if !strings.Contains(s.String(), "n=3") {
+		t.Errorf("String() = %q missing n=3", s.String())
+	}
+}
+
+func TestSummarizeMinLeqMax(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			// Metrics in this repository are bounded; exclude magnitudes
+			// whose sums overflow float64.
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e150 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		s := Summarize(clean)
+		return s.Min <= s.Median && s.Median <= s.Max &&
+			s.Min <= s.Mean && s.Mean <= s.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrecision(t *testing.T) {
+	tests := []struct {
+		name      string
+		estimated map[string]string
+		truth     map[string]string
+		want      float64
+	}{
+		{
+			name:      "all correct",
+			estimated: map[string]string{"t1": "a", "t2": "b"},
+			truth:     map[string]string{"t1": "a", "t2": "b"},
+			want:      1,
+		},
+		{
+			name:      "half correct",
+			estimated: map[string]string{"t1": "a", "t2": "x"},
+			truth:     map[string]string{"t1": "a", "t2": "b"},
+			want:      0.5,
+		},
+		{
+			name:      "missing estimate counts as miss",
+			estimated: map[string]string{"t1": "a"},
+			truth:     map[string]string{"t1": "a", "t2": "b"},
+			want:      0.5,
+		},
+		{
+			name:      "empty truth",
+			estimated: map[string]string{"t1": "a"},
+			truth:     nil,
+			want:      0,
+		},
+		{
+			name:      "extra estimates ignored",
+			estimated: map[string]string{"t1": "a", "zz": "q"},
+			truth:     map[string]string{"t1": "a"},
+			want:      1,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Precision(tt.estimated, tt.truth); got != tt.want {
+				t.Fatalf("Precision = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram(0, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0, 0.1, 0.3, 0.55, 0.8, 0.999} {
+		h.Observe(x)
+	}
+	h.Observe(-1)
+	h.Observe(2)
+	if h.Total() != 8 {
+		t.Fatalf("Total = %d, want 8", h.Total())
+	}
+	under, over := h.Outliers()
+	if under != 1 || over != 1 {
+		t.Fatalf("Outliers = %d, %d, want 1, 1", under, over)
+	}
+	wantCounts := []int{2, 1, 1, 2}
+	for i, w := range wantCounts {
+		if h.Counts[i] != w {
+			t.Errorf("Counts[%d] = %d, want %d", i, h.Counts[i], w)
+		}
+	}
+	if got := h.Fraction(0); math.Abs(got-2.0/6) > 1e-12 {
+		t.Errorf("Fraction(0) = %v, want 1/3", got)
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(0, 1, 0); err == nil {
+		t.Error("bins=0: want error")
+	}
+	if _, err := NewHistogram(1, 1, 3); err == nil {
+		t.Error("lo==hi: want error")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	tests := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75},
+	}
+	for _, tt := range tests {
+		got, err := Quantile(xs, tt.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+}
+
+func TestQuantileErrors(t *testing.T) {
+	if _, err := Quantile(nil, 0.5); err == nil {
+		t.Error("empty: want error")
+	}
+	if _, err := Quantile([]float64{1}, -0.1); err == nil {
+		t.Error("q<0: want error")
+	}
+	if _, err := Quantile([]float64{1}, 1.1); err == nil {
+		t.Error("q>1: want error")
+	}
+	got, err := Quantile([]float64{9}, 0.7)
+	if err != nil || got != 9 {
+		t.Errorf("single-element quantile = %v, %v", got, err)
+	}
+}

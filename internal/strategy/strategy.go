@@ -1,0 +1,150 @@
+// Package strategy simulates strategic bidding behaviour against the IMC2
+// reverse auction. The paper proves truthfulness (Theorem 3); this package
+// demonstrates it behaviourally: populations of workers following
+// non-truthful bidding strategies never out-earn the truthful population,
+// across many campaigns.
+package strategy
+
+import (
+	"fmt"
+	"math"
+
+	"imc2/internal/auction"
+	"imc2/internal/randx"
+)
+
+// Strategy maps a worker's true cost to the price it submits.
+type Strategy interface {
+	// Bid returns the submitted price for a worker with the given true
+	// cost. Implementations may randomize via rng.
+	Bid(trueCost float64, rng *randx.RNG) float64
+	// Name labels the strategy in reports.
+	Name() string
+}
+
+// Truthful bids the true cost — the weakly dominant strategy.
+type Truthful struct{}
+
+// Bid returns trueCost.
+func (Truthful) Bid(trueCost float64, _ *randx.RNG) float64 { return trueCost }
+
+// Name returns "truthful".
+func (Truthful) Name() string { return "truthful" }
+
+// Markup bids trueCost · (1 + Rate): overbidding to extract higher
+// payments, at the risk of losing the auction.
+type Markup struct {
+	// Rate is the relative markup, e.g. 0.5 bids 150% of cost.
+	Rate float64
+}
+
+// Bid returns the marked-up price.
+func (m Markup) Bid(trueCost float64, _ *randx.RNG) float64 {
+	return trueCost * (1 + m.Rate)
+}
+
+// Name includes the rate.
+func (m Markup) Name() string { return fmt.Sprintf("markup+%.0f%%", m.Rate*100) }
+
+// Shade bids trueCost · (1 − Rate): underbidding to win more often, at
+// the risk of being paid below cost.
+type Shade struct {
+	// Rate is the relative discount, e.g. 0.3 bids 70% of cost.
+	Rate float64
+}
+
+// Bid returns the shaded price (floored at 0).
+func (s Shade) Bid(trueCost float64, _ *randx.RNG) float64 {
+	b := trueCost * (1 - s.Rate)
+	if b < 0 {
+		return 0
+	}
+	return b
+}
+
+// Name includes the rate.
+func (s Shade) Name() string { return fmt.Sprintf("shade-%.0f%%", s.Rate*100) }
+
+// Jitter bids trueCost scaled by a uniform factor in [1−Spread, 1+Spread]:
+// a confused worker with no consistent strategy.
+type Jitter struct {
+	// Spread bounds the relative deviation.
+	Spread float64
+}
+
+// Bid returns the jittered price.
+func (j Jitter) Bid(trueCost float64, rng *randx.RNG) float64 {
+	return trueCost * rng.Uniform(1-j.Spread, 1+j.Spread)
+}
+
+// Name includes the spread.
+func (j Jitter) Name() string { return fmt.Sprintf("jitter±%.0f%%", j.Spread*100) }
+
+// Report aggregates one strategy's outcomes across simulated campaigns.
+type Report struct {
+	Strategy string
+	// MeanUtility is the per-worker-per-campaign mean of p − c (0 when
+	// losing, negative when paid below cost).
+	MeanUtility float64
+	// WinRate is the fraction of (worker, campaign) pairs that won.
+	WinRate float64
+	// NegativeRuns counts outcomes with strictly negative utility —
+	// impossible for truthful bidders (individual rationality).
+	NegativeRuns int
+	// Samples is the number of (worker, campaign) outcomes aggregated.
+	Samples int
+}
+
+// Simulate runs the reverse auction over the given instances, assigning
+// the strategy to each worker in turn (one deviator at a time, everyone
+// else truthful — the setting of the truthfulness definition), and
+// aggregates the deviator's outcomes. trueCosts[k] must align with
+// instances[k].Bids, which are taken as the true costs.
+func Simulate(instances []*auction.Instance, strat Strategy, rng *randx.RNG) (*Report, error) {
+	if len(instances) == 0 {
+		return nil, fmt.Errorf("strategy: no instances")
+	}
+	rep := &Report{Strategy: strat.Name()}
+	var utilSum float64
+	for k, in := range instances {
+		stratRNG := rng.SplitIndex(k)
+		for worker := 0; worker < in.NumWorkers(); worker++ {
+			trueCost := in.Bids[worker]
+			dev := &auction.Instance{
+				Bids:         append([]float64(nil), in.Bids...),
+				TaskSets:     in.TaskSets,
+				Accuracy:     in.Accuracy,
+				Requirements: in.Requirements,
+			}
+			dev.Bids[worker] = strat.Bid(trueCost, stratRNG)
+			out, err := auction.ReverseAuction(dev)
+			if err != nil {
+				// A deviation can render some winner irreplaceable; the
+				// mechanism refuses such instances, and the deviator
+				// gains nothing (skip the sample).
+				continue
+			}
+			u := out.Utility(worker, trueCost)
+			utilSum += u
+			rep.Samples++
+			if out.IsWinner(worker) {
+				rep.WinRate++
+			}
+			if u < -1e-9 {
+				rep.NegativeRuns++
+			}
+		}
+	}
+	if rep.Samples == 0 {
+		return nil, fmt.Errorf("strategy: no usable samples for %s", strat.Name())
+	}
+	rep.MeanUtility = utilSum / float64(rep.Samples)
+	rep.WinRate /= float64(rep.Samples)
+	return rep, nil
+}
+
+// Dominates reports whether a's mean utility weakly dominates b's within
+// tolerance — the empirical statement of weak dominance.
+func Dominates(a, b *Report, tol float64) bool {
+	return a.MeanUtility >= b.MeanUtility-math.Abs(tol)
+}

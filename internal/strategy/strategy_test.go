@@ -1,0 +1,162 @@
+package strategy
+
+import (
+	"testing"
+
+	"imc2/internal/auction"
+	"imc2/internal/gen"
+	"imc2/internal/platform"
+	"imc2/internal/randx"
+	"imc2/internal/truth"
+)
+
+// testInstances builds a handful of feasible SOAC instances from
+// generated campaigns.
+func testInstances(t *testing.T, count int) []*auction.Instance {
+	t.Helper()
+	spec := gen.DefaultSpec()
+	spec.Workers = 20
+	spec.Tasks = 15
+	spec.Copiers = 5
+	spec.TasksPerWorker = 9
+	spec.RequirementLow, spec.RequirementHigh = 0.5, 1
+	spec.MinProvidersPerTask = 4
+
+	opt := truth.DefaultOptions()
+	opt.CopyProb = 0.8
+	opt.PriorDependence = 0.05
+
+	var out []*auction.Instance
+	for seed := int64(0); len(out) < count && seed < int64(count*4); seed++ {
+		c, err := gen.NewCampaign(spec, randx.New(seed))
+		if err != nil {
+			continue
+		}
+		res, err := truth.Discover(c.Dataset, truth.MethodDATE, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := platform.BuildInstance(c.Dataset, res.Accuracy, c.Costs)
+		if _, err := auction.ReverseAuction(in); err != nil {
+			continue
+		}
+		out = append(out, in)
+	}
+	if len(out) < count {
+		t.Fatalf("only %d/%d usable instances", len(out), count)
+	}
+	return out
+}
+
+func TestStrategyNamesAndBids(t *testing.T) {
+	rng := randx.New(1)
+	tests := []struct {
+		s        Strategy
+		wantName string
+	}{
+		{Truthful{}, "truthful"},
+		{Markup{Rate: 0.5}, "markup+50%"},
+		{Shade{Rate: 0.3}, "shade-30%"},
+		{Jitter{Spread: 0.2}, "jitter±20%"},
+	}
+	for _, tt := range tests {
+		if got := tt.s.Name(); got != tt.wantName {
+			t.Errorf("Name() = %q, want %q", got, tt.wantName)
+		}
+		b := tt.s.Bid(4, rng)
+		if b < 0 {
+			t.Errorf("%s bid %v negative", tt.wantName, b)
+		}
+	}
+	if got := (Truthful{}).Bid(3.5, rng); got != 3.5 {
+		t.Errorf("truthful bid = %v", got)
+	}
+	if got := (Markup{Rate: 0.5}).Bid(4, rng); got != 6 {
+		t.Errorf("markup bid = %v, want 6", got)
+	}
+	if got := (Shade{Rate: 0.25}).Bid(4, rng); got != 3 {
+		t.Errorf("shade bid = %v, want 3", got)
+	}
+	if got := (Shade{Rate: 2}).Bid(4, rng); got != 0 {
+		t.Errorf("shade floor = %v, want 0", got)
+	}
+}
+
+func TestTruthfulDominates(t *testing.T) {
+	instances := testInstances(t, 3)
+	rng := randx.New(7)
+
+	truthful, err := Simulate(instances, Truthful{}, rng.Split("truthful"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truthful.NegativeRuns != 0 {
+		t.Fatalf("truthful bidders had %d negative-utility outcomes (IR violation)",
+			truthful.NegativeRuns)
+	}
+
+	rivals := []Strategy{
+		Markup{Rate: 0.25},
+		Markup{Rate: 0.75},
+		Shade{Rate: 0.25},
+		Shade{Rate: 0.5},
+		Jitter{Spread: 0.4},
+	}
+	for _, rival := range rivals {
+		rep, err := Simulate(instances, rival, rng.Split(rival.Name()))
+		if err != nil {
+			t.Fatalf("%s: %v", rival.Name(), err)
+		}
+		if !Dominates(truthful, rep, 1e-6) {
+			t.Errorf("%s mean utility %v beats truthful %v — dominance violated",
+				rival.Name(), rep.MeanUtility, truthful.MeanUtility)
+		}
+		t.Logf("%-12s mean utility %.4f  win rate %.2f  negative runs %d",
+			rep.Strategy, rep.MeanUtility, rep.WinRate, rep.NegativeRuns)
+	}
+}
+
+func TestShadingWinsMoreButEarnsLess(t *testing.T) {
+	instances := testInstances(t, 3)
+	rng := randx.New(11)
+
+	truthful, err := Simulate(instances, Truthful{}, rng.Split("t"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shade, err := Simulate(instances, Shade{Rate: 0.5}, rng.Split("s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shade.WinRate < truthful.WinRate {
+		t.Errorf("heavy shading win rate %v below truthful %v — unexpected",
+			shade.WinRate, truthful.WinRate)
+	}
+	if shade.MeanUtility > truthful.MeanUtility+1e-9 {
+		t.Errorf("shading earned more (%v) than truthful (%v)",
+			shade.MeanUtility, truthful.MeanUtility)
+	}
+}
+
+func TestMarkupLosesAuctions(t *testing.T) {
+	instances := testInstances(t, 2)
+	rng := randx.New(13)
+	truthful, err := Simulate(instances, Truthful{}, rng.Split("t"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	markup, err := Simulate(instances, Markup{Rate: 2}, rng.Split("m"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if markup.WinRate > truthful.WinRate {
+		t.Errorf("3x overbidding won more (%v) than truthful (%v)",
+			markup.WinRate, truthful.WinRate)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	if _, err := Simulate(nil, Truthful{}, randx.New(1)); err == nil {
+		t.Error("empty instance list accepted")
+	}
+}

@@ -1,0 +1,105 @@
+package truth
+
+import (
+	"sort"
+
+	"imc2/internal/model"
+	"imc2/internal/numeric"
+)
+
+// DependentPair is an undirected worker pair ranked by its total directed
+// dependence posterior.
+type DependentPair struct {
+	// A and B are worker indices with A < B.
+	A, B int
+	// AtoB is P(A→B | D), BtoA is P(B→A | D).
+	AtoB, BtoA float64
+}
+
+// Total returns the combined evidence of dependence in either direction.
+func (p DependentPair) Total() float64 { return p.AtoB + p.BtoA }
+
+// RankDependentPairs returns the worker pairs sorted by descending total
+// dependence posterior, strongest first. Methods without a dependence
+// model (MV, NC) yield nil.
+func (r *Result) RankDependentPairs() []DependentPair {
+	if r.Dependence == nil {
+		return nil
+	}
+	n := len(r.Dependence)
+	pairs := make([]DependentPair, 0, n*(n-1)/2)
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			pairs = append(pairs, DependentPair{
+				A: a, B: b,
+				AtoB: r.Dependence[a][b],
+				BtoA: r.Dependence[b][a],
+			})
+		}
+	}
+	sort.SliceStable(pairs, func(i, j int) bool { return pairs[i].Total() > pairs[j].Total() })
+	return pairs
+}
+
+// CopierScores returns, per worker, the strongest posterior probability
+// that the worker copies from any other worker — a ranking signal for
+// audits ("who should the platform look at first").
+func (r *Result) CopierScores() []float64 {
+	if r.Dependence == nil {
+		return nil
+	}
+	out := make([]float64, len(r.Dependence))
+	for i, row := range r.Dependence {
+		for k, p := range row {
+			if k != i && p > out[i] {
+				out[i] = p
+			}
+		}
+	}
+	return out
+}
+
+// MeanIndependence returns each worker's mean independence probability
+// over the tasks it answered (1 for workers that answered nothing, since
+// no copied value exists).
+func (r *Result) MeanIndependence(ds *model.Dataset) []float64 {
+	out := make([]float64, ds.NumWorkers())
+	for i := range out {
+		tasks := ds.WorkerTasks(i)
+		if len(tasks) == 0 {
+			out[i] = 1
+			continue
+		}
+		var sum numeric.KahanSum
+		for _, j := range tasks {
+			sum.Add(r.Independence[i][j])
+		}
+		out[i] = sum.Sum() / float64(len(tasks))
+	}
+	return out
+}
+
+// Confidence returns, per task, the estimated truth's share of the task's
+// total accuracy-weighted support — 1.0 means unanimous support for the
+// elected value, 1/|values| means a dead heat. Unanswered tasks get 0.
+func (r *Result) Confidence(ds *model.Dataset) []float64 {
+	out := make([]float64, ds.NumTasks())
+	for j := range out {
+		et := r.Truth[j]
+		if et == model.NotAnswered {
+			continue
+		}
+		var total, elected numeric.KahanSum
+		for _, i := range ds.TaskWorkers(j) {
+			w := r.Accuracy[i][j] * r.Independence[i][j]
+			total.Add(w)
+			if ds.ValueOf(i, j) == et {
+				elected.Add(w)
+			}
+		}
+		if total.Sum() > 0 {
+			out[j] = numeric.ClampProb(elected.Sum() / total.Sum())
+		}
+	}
+	return out
+}

@@ -1,0 +1,154 @@
+package truth
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"imc2/internal/model"
+)
+
+func TestRankDependentPairs(t *testing.T) {
+	ds, _ := copierScenario(t, 6, 4, 40)
+	res := mustDiscover(t, ds, MethodDATE, DefaultOptions())
+
+	pairs := res.RankDependentPairs()
+	n := ds.NumWorkers()
+	if len(pairs) != n*(n-1)/2 {
+		t.Fatalf("pairs = %d, want %d", len(pairs), n*(n-1)/2)
+	}
+	// Sorted descending by total.
+	for i := 1; i < len(pairs); i++ {
+		if pairs[i].Total() > pairs[i-1].Total()+1e-12 {
+			t.Fatalf("pairs not sorted at %d", i)
+		}
+	}
+	// The top pair should involve the copied source h00 or a copier.
+	top := pairs[0]
+	h0, _ := ds.WorkerIndex("h00")
+	isCopier := func(i int) bool {
+		id := ds.WorkerID(i)
+		return id[0] == 'c'
+	}
+	if top.A != h0 && top.B != h0 && !isCopier(top.A) && !isCopier(top.B) {
+		t.Errorf("top pair (%s, %s) involves no copier and not the source",
+			ds.WorkerID(top.A), ds.WorkerID(top.B))
+	}
+	// A < B invariant.
+	for _, p := range pairs {
+		if p.A >= p.B {
+			t.Fatalf("pair ordering violated: %+v", p)
+		}
+	}
+}
+
+func TestRankDependentPairsNilForMV(t *testing.T) {
+	ds, _ := copierScenario(t, 4, 2, 20)
+	res := mustDiscover(t, ds, MethodMV, DefaultOptions())
+	if res.RankDependentPairs() != nil {
+		t.Error("MV should have no dependence ranking")
+	}
+	if res.CopierScores() != nil {
+		t.Error("MV should have no copier scores")
+	}
+}
+
+func TestCopierScoresSeparateCopiers(t *testing.T) {
+	ds, _ := copierScenario(t, 6, 4, 40)
+	res := mustDiscover(t, ds, MethodDATE, DefaultOptions())
+	scores := res.CopierScores()
+	if len(scores) != ds.NumWorkers() {
+		t.Fatalf("scores = %d entries", len(scores))
+	}
+	// Mean score of copiers must exceed mean score of honest workers
+	// (excluding the copied source h00, which legitimately scores high —
+	// direction is hard to pin down from a snapshot).
+	var copier, honest float64
+	var nc, nh int
+	for i := 0; i < ds.NumWorkers(); i++ {
+		id := ds.WorkerID(i)
+		switch {
+		case id[0] == 'c':
+			copier += scores[i]
+			nc++
+		case id != "h00":
+			honest += scores[i]
+			nh++
+		}
+	}
+	if copier/float64(nc) <= honest/float64(nh) {
+		t.Errorf("copier mean score %v not above honest %v",
+			copier/float64(nc), honest/float64(nh))
+	}
+}
+
+func TestMeanIndependenceBounds(t *testing.T) {
+	ds, _ := copierScenario(t, 6, 4, 40)
+	res := mustDiscover(t, ds, MethodDATE, DefaultOptions())
+	mi := res.MeanIndependence(ds)
+	for i, v := range mi {
+		if v < 0 || v > 1 || math.IsNaN(v) {
+			t.Fatalf("mean independence[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestConfidence(t *testing.T) {
+	// Unanimous task → confidence 1; split task → below 1.
+	ds, err := model.NewBuilder().
+		AddTask(model.Task{ID: "unanimous", NumFalse: 2, Requirement: 1, Value: 5}).
+		AddTask(model.Task{ID: "split", NumFalse: 2, Requirement: 1, Value: 5}).
+		AddObservation("w1", "unanimous", "x").
+		AddObservation("w2", "unanimous", "x").
+		AddObservation("w3", "unanimous", "x").
+		AddObservation("w1", "split", "a").
+		AddObservation("w2", "split", "a").
+		AddObservation("w3", "split", "b").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mustDiscover(t, ds, MethodDATE, DefaultOptions())
+	conf := res.Confidence(ds)
+	jU, _ := ds.TaskIndex("unanimous")
+	jS, _ := ds.TaskIndex("split")
+	if conf[jU] < 0.99 {
+		t.Errorf("unanimous confidence = %v, want ~1", conf[jU])
+	}
+	if conf[jS] >= conf[jU] {
+		t.Errorf("split confidence %v not below unanimous %v", conf[jS], conf[jU])
+	}
+	if conf[jS] <= 0 || conf[jS] > 1 {
+		t.Errorf("split confidence %v out of range", conf[jS])
+	}
+}
+
+func TestConfidenceSortedTasksMatchPrecisionIntuition(t *testing.T) {
+	// On the copier scenario, high-confidence tasks should be mostly
+	// correct: confidence is a usable triage signal.
+	ds, truthMap := copierScenario(t, 6, 4, 40)
+	res := mustDiscover(t, ds, MethodDATE, DefaultOptions())
+	conf := res.Confidence(ds)
+	est := res.TruthMap(ds)
+
+	type tc struct {
+		conf    float64
+		correct bool
+	}
+	var tcs []tc
+	for j := 0; j < ds.NumTasks(); j++ {
+		id := ds.Task(j).ID
+		tcs = append(tcs, tc{conf[j], est[id] == truthMap[id]})
+	}
+	sort.Slice(tcs, func(a, b int) bool { return tcs[a].conf > tcs[b].conf })
+	topHalf := tcs[:len(tcs)/2]
+	correct := 0
+	for _, x := range topHalf {
+		if x.correct {
+			correct++
+		}
+	}
+	if frac := float64(correct) / float64(len(topHalf)); frac < 0.8 {
+		t.Errorf("top-confidence half only %.0f%% correct", frac*100)
+	}
+}

@@ -1,0 +1,174 @@
+package truth
+
+import (
+	"fmt"
+	"math"
+
+	"imc2/internal/model"
+	"imc2/internal/numeric"
+)
+
+// Discover runs the selected truth-discovery method over the dataset.
+//
+// The returned Result is self-contained; the dataset is not retained.
+func Discover(ds *model.Dataset, method Method, opt Options) (*Result, error) {
+	if ds == nil {
+		return nil, fmt.Errorf("truth: nil dataset")
+	}
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	fm := opt.falseModelOrUniform()
+	seen := make(map[int]bool)
+	for j := 0; j < ds.NumTasks(); j++ {
+		nf := ds.Task(j).NumFalse
+		if !seen[nf] {
+			seen[nf] = true
+			if err := validateFalseModel(fm, nf); err != nil {
+				return nil, err
+			}
+		}
+	}
+	switch method {
+	case MethodMV:
+		return majorityVote(ds), nil
+	case MethodNC:
+		return runNC(ds, opt, fm), nil
+	case MethodDATE, MethodED:
+		return runDATE(ds, opt, fm, method), nil
+	default:
+		return nil, fmt.Errorf("truth: unknown method %v", method)
+	}
+}
+
+// state carries one run's working data.
+type state struct {
+	ds  *model.Dataset
+	opt Options
+	fm  FalseValueModel
+
+	n, m int
+
+	acc   [][]float64 // per-task accuracy A[i][j] = P_j(v_i^j)
+	accW  []float64   // per-worker accuracy A_i (eq. 17's average)
+	indep [][]float64 // I[i][j]
+	dep   [][]float64 // dep[i][k] = P(i→k | D)
+	truth []int32     // et[j]
+
+	depRatio [][]float64 // scratch for computeDependence
+
+	logPriorRatio float64 // log((1-α)/α)
+
+	// totalDep[i] caches Σ_{k≠i} dep[i][k]+dep[k][i] for the ordering
+	// seed of Algorithm 1 line 16.
+	totalDep []float64
+
+	// Per-task cached false-value quantities.
+	agreement   []float64 // AgreementProb per task
+	logMeanProb []float64 // LogMeanProb per task
+}
+
+func newState(ds *model.Dataset, opt Options, fm FalseValueModel) *state {
+	n, m := ds.NumWorkers(), ds.NumTasks()
+	s := &state{
+		ds:  ds,
+		opt: opt,
+		fm:  fm,
+		n:   n,
+		m:   m,
+
+		acc:   newZeroMatrix(n, m),
+		accW:  make([]float64, n),
+		indep: newFilledMatrix(n, m, 1),
+		truth: make([]int32, m),
+
+		logPriorRatio: math.Log(1-opt.PriorDependence) - math.Log(opt.PriorDependence),
+
+		agreement:   make([]float64, m),
+		logMeanProb: make([]float64, m),
+	}
+	for i := 0; i < n; i++ {
+		s.accW[i] = opt.InitAccuracy
+		for _, j := range ds.WorkerTasks(i) {
+			s.acc[i][j] = opt.InitAccuracy
+		}
+	}
+	for j := 0; j < m; j++ {
+		nf := ds.Task(j).NumFalse
+		s.agreement[j] = fm.AgreementProb(nf)
+		s.logMeanProb[j] = fm.LogMeanProb(nf)
+	}
+	copy(s.truth, majorityTruth(ds))
+	return s
+}
+
+// runDATE executes Algorithm 1. MethodED swaps step 2's greedy ordering
+// for enumerated/sampled ordering averaging.
+func runDATE(ds *model.Dataset, opt Options, fm FalseValueModel, method Method) *Result {
+	s := newState(ds, opt, fm)
+	s.dep = newFilledMatrix(s.n, s.n, opt.PriorDependence)
+	s.totalDep = make([]float64, s.n)
+
+	prev := make([]int32, s.m)
+	iterations, converged := 0, false
+	for k := 0; k < opt.MaxIterations; k++ {
+		iterations = k + 1
+		copy(prev, s.truth)
+
+		s.computeDependence()                     // step 1: eq. 7–15
+		s.computeIndependence(method == MethodED) // step 2: eq. 16
+		s.estimate()                              // step 3: eq. 17–21
+
+		if equalTruth(prev, s.truth) {
+			converged = true
+			break
+		}
+	}
+	return &Result{
+		Truth:        s.truth,
+		Accuracy:     s.acc,
+		Independence: s.indep,
+		Dependence:   s.dep,
+		Iterations:   iterations,
+		Converged:    converged,
+		Method:       method,
+	}
+}
+
+// runNC executes only step 3 iteratively, assuming worker independence.
+func runNC(ds *model.Dataset, opt Options, fm FalseValueModel) *Result {
+	s := newState(ds, opt, fm)
+	prev := make([]int32, s.m)
+	iterations, converged := 0, false
+	for k := 0; k < opt.MaxIterations; k++ {
+		iterations = k + 1
+		copy(prev, s.truth)
+		s.estimate()
+		if equalTruth(prev, s.truth) {
+			converged = true
+			break
+		}
+	}
+	return &Result{
+		Truth:        s.truth,
+		Accuracy:     s.acc,
+		Independence: s.indep,
+		Iterations:   iterations,
+		Converged:    converged,
+		Method:       MethodNC,
+	}
+}
+
+func equalTruth(a, b []int32) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// clampAcc keeps an accuracy strictly interior for the log-odds weights.
+func clampAcc(a float64) float64 {
+	return numeric.ClampProbOpen(a, accClampMargin)
+}

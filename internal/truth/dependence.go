@@ -1,0 +1,122 @@
+package truth
+
+import (
+	"math"
+
+	"imc2/internal/numeric"
+)
+
+// computeDependence is step 1 of Algorithm 1: for every ordered worker
+// pair (i, k) it computes P(i→k | D), the posterior probability that i
+// copies from k, via the Bayesian analysis of eq. 7–15.
+//
+// The per-pair evidence decomposes over the tasks both workers answered:
+//
+//	same true value  (t ∈ Ts): indep term Ps = Aᵢ·Aₖ
+//	                           dep term      Aₖ·r + Ps·(1−r)        (eq. 11)
+//	same false value (t ∈ Tf): indep term Pf = (1−Aᵢ)(1−Aₖ)·agree
+//	                           dep term      (1−Aₖ)·r + Pf·(1−r)    (eq. 12)
+//	different values (t ∈ Td): both terms share Pd, leaving −ln(1−r) (eq. 13)
+//
+// where agree is the false-value agreement probability (1/num under the
+// uniform model of §II-B, generalized by eq. 22). The posterior follows
+// eq. 15:
+//
+//	P(i→k|D) = sigmoid(−[ln((1−α)/α) + Σ_t (ln indepTerm − ln depTerm)])
+//
+// Products run over hundreds of tasks, so all accumulation is in log
+// space (see package numeric).
+func (s *state) computeDependence() {
+	r := s.opt.CopyProb
+	logOneMinusR := math.Log1p(-r)
+
+	// logRatio[i][k] accumulates the i→k hypothesis.
+	logRatio := s.depScratch()
+	for i := range logRatio {
+		row := logRatio[i]
+		for k := range row {
+			row[k] = s.logPriorRatio
+		}
+	}
+
+	// The §IV-A completion: with SimilarityInDependence, values that are
+	// presentations of each other classify as the same value, and
+	// presentations of the estimated truth classify as true. Without it,
+	// systematic spelling variance manufactures shared-"false" values —
+	// the copier signature — between honest workers (ablation A2).
+	equiv := s.valueEquivalence()
+
+	for j := 0; j < s.m; j++ {
+		ws := s.ds.TaskWorkers(j)
+		if len(ws) < 2 {
+			continue
+		}
+		agree := s.agreement[j]
+		et := s.truth[j]
+		for a := 0; a < len(ws); a++ {
+			i := ws[a]
+			vi := s.ds.ValueOf(i, j)
+			ai := clampAcc(s.accW[i])
+			for b := a + 1; b < len(ws); b++ {
+				k := ws[b]
+				vk := s.ds.ValueOf(k, j)
+				ak := clampAcc(s.accW[k])
+				same := vi == vk
+				isTrue := vi == et
+				if equiv != nil {
+					same = same || equiv.same(j, vi, vk)
+					isTrue = isTrue || equiv.trueLike(j, vi)
+				}
+				switch {
+				case !same:
+					// Different values: the Pd factors cancel, leaving
+					// ln(Pd) − ln(Pd·(1−r)) = −ln(1−r) for both directions.
+					logRatio[i][k] -= logOneMinusR
+					logRatio[k][i] -= logOneMinusR
+				case isTrue:
+					ps := ai * ak
+					logPs := math.Log(ps)
+					logRatio[i][k] += logPs - math.Log(ak*r+ps*(1-r))
+					logRatio[k][i] += logPs - math.Log(ai*r+ps*(1-r))
+				default:
+					pf := (1 - ai) * (1 - ak) * agree
+					logPf := math.Log(pf)
+					logRatio[i][k] += logPf - math.Log((1-ak)*r+pf*(1-r))
+					logRatio[k][i] += logPf - math.Log((1-ai)*r+pf*(1-r))
+				}
+			}
+		}
+	}
+
+	for i := 0; i < s.n; i++ {
+		for k := 0; k < s.n; k++ {
+			if i == k {
+				s.dep[i][k] = 0
+				continue
+			}
+			s.dep[i][k] = numeric.Sigmoid(-logRatio[i][k])
+		}
+	}
+
+	// Cache Σ_{k≠i} dep[i][k] + dep[k][i] for the ordering seed
+	// (Algorithm 1 line 16).
+	for i := 0; i < s.n; i++ {
+		var sum numeric.KahanSum
+		for k := 0; k < s.n; k++ {
+			if k == i {
+				continue
+			}
+			sum.Add(s.dep[i][k] + s.dep[k][i])
+		}
+		s.totalDep[i] = sum.Sum()
+	}
+}
+
+// depScratch lazily allocates the n×n log-ratio scratch matrix, reusing it
+// across iterations.
+func (s *state) depScratch() [][]float64 {
+	if s.depRatio == nil {
+		s.depRatio = newZeroMatrix(s.n, s.n)
+	}
+	return s.depRatio
+}

@@ -1,0 +1,166 @@
+package truth
+
+import (
+	"math"
+
+	"imc2/internal/model"
+	"imc2/internal/numeric"
+)
+
+// estimate is step 3 of Algorithm 1: it computes each value's posterior
+// probability of being true (eq. 20, generalized by eq. 23), refreshes the
+// accuracy estimates (eq. 17), and re-estimates the truth from
+// independence-discounted support counts (line 28, generalized by eq. 21).
+//
+// Two interpretation notes, both following the algorithm's VLDB lineage
+// (Dong, Berti-Equille, Srivastava 2009), which this section of the paper
+// condenses:
+//
+//   - Eq. 17 averages the truth probability of a worker's values into a
+//     single per-worker accuracy A_i ("the accuracy of a worker as the
+//     average probability of its values"); that global A_i is what feeds
+//     the vote weights and the dependence analysis of the next round. The
+//     per-task matrix A_i^j = P_j(v_i^j) is retained as the worker's
+//     task-level accuracy for the auction stage.
+//   - The vote weight of each provider is discounted by its independence
+//     probability I (the "support counts" of line 28); without the
+//     discount inside eq. 20 a copied majority could never be overturned,
+//     because P_j(v) would keep amplifying the copiers regardless of I.
+func (s *state) estimate() {
+	for j := 0; j < s.m; j++ {
+		values := s.ds.Values(j)
+		if len(values) == 0 {
+			s.truth[j] = model.NotAnswered
+			continue
+		}
+		providers := s.ds.TaskWorkers(j)
+
+		// Independence-discounted log-vote per value: each provider of v
+		// contributes I · (ln(A/(1−A)) − E[ln p_false]). Under the uniform
+		// false model −E[ln p_false] = ln(num), recovering eq. 20's
+		// num·A/(1−A) weights.
+		logScore := make([]float64, len(values))
+		for _, i := range providers {
+			a := clampAcc(s.accW[i])
+			v := s.ds.ValueOf(i, j)
+			w := math.Log(a) - math.Log1p(-a) - s.logMeanProb[j]
+			logScore[v] += s.indep[i][j] * w
+		}
+		// Eq. 21 (§IV-A): values inherit ρ-weighted vote counts from
+		// similar values. The adjustment applies to the vote counts that
+		// feed eq. 20 — the formula's lineage (Dong et al., VLDB 2009,
+		// §5.2) and the only placement where it can change the winner:
+		// adjusting the post-softmax A·I support instead is inert because
+		// softmax amplification has already separated the majority.
+		if s.opt.Similarity != nil && s.opt.SimilarityWeight > 0 {
+			logScore = s.adjustBySimilarity(values, logScore)
+		}
+		probs := numeric.NormalizeLogs(logScore)
+
+		// Eq. 17 (per-task part): a worker's accuracy on the task is the
+		// truth probability of the value it provided.
+		for _, i := range providers {
+			s.acc[i][j] = probs[s.ds.ValueOf(i, j)]
+		}
+
+		// Line 28: support counts A·I select the truth.
+		support := make([]float64, len(values))
+		for _, i := range providers {
+			v := s.ds.ValueOf(i, j)
+			support[v] += s.acc[i][j] * s.indep[i][j]
+		}
+		s.truth[j] = argmaxValue(support)
+	}
+
+	// Eq. 17 (per-worker part): fold the per-task probabilities into the
+	// global accuracy used by the next iteration.
+	for i := 0; i < s.n; i++ {
+		tasks := s.ds.WorkerTasks(i)
+		if len(tasks) == 0 {
+			continue
+		}
+		var sum numeric.KahanSum
+		for _, j := range tasks {
+			sum.Add(s.acc[i][j])
+		}
+		s.accW[i] = sum.Sum() / float64(len(tasks))
+	}
+}
+
+// adjustBySimilarity applies eq. 21 to the vote counts: each value
+// inherits ρ-weighted votes from similar values.
+func (s *state) adjustBySimilarity(values []string, votes []float64) []float64 {
+	rho := s.opt.SimilarityWeight
+	adjusted := make([]float64, len(votes))
+	for v := range values {
+		adjusted[v] = votes[v]
+		for w := range values {
+			if w == v {
+				continue
+			}
+			sim := s.opt.Similarity(values[v], values[w])
+			if sim <= 0 {
+				continue
+			}
+			adjusted[v] += rho * sim * votes[w]
+		}
+	}
+	return adjusted
+}
+
+// argmaxValue returns the index of the largest support, breaking ties
+// toward the lower index for determinism.
+func argmaxValue(support []float64) int32 {
+	best := 0
+	for v := 1; v < len(support); v++ {
+		if support[v] > support[best] {
+			best = v
+		}
+	}
+	return int32(best)
+}
+
+// majorityTruth computes the simple-majority estimate used both by the MV
+// baseline and as DATE's starting point ("the true value can be obtained
+// through the voting mechanism on data set D for each task initially").
+func majorityTruth(ds *model.Dataset) []int32 {
+	truth := make([]int32, ds.NumTasks())
+	for j := range truth {
+		values := ds.Values(j)
+		if len(values) == 0 {
+			truth[j] = model.NotAnswered
+			continue
+		}
+		counts := make([]float64, len(values))
+		for _, i := range ds.TaskWorkers(j) {
+			counts[ds.ValueOf(i, j)]++
+		}
+		truth[j] = argmaxValue(counts)
+	}
+	return truth
+}
+
+// majorityVote is the MV baseline: one voting pass. Its accuracy matrix is
+// the per-task truth indicator (1 where the worker agrees with the elected
+// value), which is the natural instantiation of eq. 17 under voting.
+func majorityVote(ds *model.Dataset) *Result {
+	n, m := ds.NumWorkers(), ds.NumTasks()
+	truth := majorityTruth(ds)
+	acc := newZeroMatrix(n, m)
+	indep := newFilledMatrix(n, m, 1)
+	for i := 0; i < n; i++ {
+		for _, j := range ds.WorkerTasks(i) {
+			if ds.ValueOf(i, j) == truth[j] {
+				acc[i][j] = 1
+			}
+		}
+	}
+	return &Result{
+		Truth:        truth,
+		Accuracy:     acc,
+		Independence: indep,
+		Iterations:   1,
+		Converged:    true,
+		Method:       MethodMV,
+	}
+}

@@ -1,0 +1,164 @@
+package truth
+
+import (
+	"fmt"
+	"math"
+
+	"imc2/internal/numeric"
+)
+
+// FalseValueModel describes how false values are distributed within a
+// task's answer domain (§IV-B). Two quantities drive the algorithm:
+//
+//   - AgreementProb: the probability that two independent false-value
+//     providers pick the same false value — Σ_v p_v². Under the uniform
+//     model of §II-B this is 1/num. It replaces the 1/num factor of eq. 8
+//     (revised eq. 22).
+//   - LogMeanProb: the expected log-probability E[ln p] of the false value
+//     an independent worker provides. Under the uniform model this is
+//     −ln(num). It replaces the per-false-provider 1/num factor in the
+//     likelihood of eq. 18 (revised eq. 23).
+//
+// The paper expresses both through a density f(h) over per-value
+// probabilities with ∫f = 1; its worked identity ∫h²f(h)dh = 1/num only
+// holds when f counts values rather than fractions, so this interface pins
+// down the two well-defined probabilities directly and lets each
+// implementation derive them from its own parameterization.
+type FalseValueModel interface {
+	// AgreementProb returns Σ p_v² for a domain with numFalse false values.
+	AgreementProb(numFalse int) float64
+	// LogMeanProb returns E[ln p_v] for a domain with numFalse false
+	// values.
+	LogMeanProb(numFalse int) float64
+}
+
+// UniformFalse is the §II-B assumption: every false value is equally
+// likely.
+type UniformFalse struct{}
+
+// AgreementProb returns 1/numFalse.
+func (UniformFalse) AgreementProb(numFalse int) float64 {
+	if numFalse < 1 {
+		return 1
+	}
+	return 1 / float64(numFalse)
+}
+
+// LogMeanProb returns −ln(numFalse).
+func (UniformFalse) LogMeanProb(numFalse int) float64 {
+	if numFalse < 1 {
+		return 0
+	}
+	return -math.Log(float64(numFalse))
+}
+
+var _ FalseValueModel = UniformFalse{}
+
+// ZipfFalse skews false-value popularity by a Zipf law with exponent S:
+// the k-th false value has probability ∝ 1/(k+1)^S. S = 0 recovers the
+// uniform model. This captures the paper's Sydney-vs-Canberra example
+// where one wrong answer dominates.
+type ZipfFalse struct {
+	// S is the Zipf exponent, >= 0.
+	S float64
+}
+
+func (z ZipfFalse) probs(numFalse int) []float64 {
+	if numFalse < 1 {
+		numFalse = 1
+	}
+	ps := make([]float64, numFalse)
+	var total float64
+	for k := range ps {
+		ps[k] = 1 / math.Pow(float64(k+1), z.S)
+		total += ps[k]
+	}
+	for k := range ps {
+		ps[k] /= total
+	}
+	return ps
+}
+
+// AgreementProb returns Σ p_k² under the Zipf weights.
+func (z ZipfFalse) AgreementProb(numFalse int) float64 {
+	var sum numeric.KahanSum
+	for _, p := range z.probs(numFalse) {
+		sum.Add(p * p)
+	}
+	return sum.Sum()
+}
+
+// LogMeanProb returns Σ p_k·ln(p_k): the expected log-probability of the
+// false value an independent worker draws (workers draw values by
+// popularity).
+func (z ZipfFalse) LogMeanProb(numFalse int) float64 {
+	var sum numeric.KahanSum
+	for _, p := range z.probs(numFalse) {
+		if p > 0 {
+			sum.Add(p * math.Log(p))
+		}
+	}
+	return sum.Sum()
+}
+
+var _ FalseValueModel = ZipfFalse{}
+
+// DensityFalse adapts an analytic density f(h) over per-value
+// probabilities, ∫₀¹ f = 1, as the paper states it. AgreementProb is
+// num·∫h²f(h)dh (the count-vs-fraction reconciliation described on
+// FalseValueModel) and LogMeanProb is num·∫h·ln(h)·f(h)dh, both computed
+// with composite Simpson quadrature.
+type DensityFalse struct {
+	// F is the density over [0, 1].
+	F func(h float64) float64
+	// Panels is the Simpson panel count; zero means 256.
+	Panels int
+}
+
+func (d DensityFalse) panels() int {
+	if d.Panels <= 0 {
+		return 256
+	}
+	return d.Panels
+}
+
+// AgreementProb returns num·∫₀¹ h²·f(h) dh.
+func (d DensityFalse) AgreementProb(numFalse int) float64 {
+	v := numeric.Simpson(func(h float64) float64 { return h * h * d.F(h) }, 0, 1, d.panels())
+	return numeric.ClampProb(float64(numFalse) * v)
+}
+
+// LogMeanProb returns num·∫₀¹ h·ln(h)·f(h) dh. The integrand's h·ln(h)
+// factor vanishes at 0, so the singularity of ln is benign.
+func (d DensityFalse) LogMeanProb(numFalse int) float64 {
+	v := numeric.Simpson(func(h float64) float64 {
+		if h == 0 {
+			return 0
+		}
+		return h * math.Log(h) * d.F(h)
+	}, 0, 1, d.panels())
+	return float64(numFalse) * v
+}
+
+var _ FalseValueModel = DensityFalse{}
+
+// falseModelOrUniform returns the configured model or the uniform default.
+func (o Options) falseModelOrUniform() FalseValueModel {
+	if o.FalseValues == nil {
+		return UniformFalse{}
+	}
+	return o.FalseValues
+}
+
+// validateFalseModel sanity-checks a model over the domain sizes in use.
+func validateFalseModel(m FalseValueModel, numFalse int) error {
+	a := m.AgreementProb(numFalse)
+	if math.IsNaN(a) || a <= 0 || a > 1 {
+		return fmt.Errorf("truth: false-value model agreement probability %v for num=%d outside (0, 1]", a, numFalse)
+	}
+	lm := m.LogMeanProb(numFalse)
+	if math.IsNaN(lm) || lm > 0 {
+		return fmt.Errorf("truth: false-value model log mean probability %v for num=%d must be <= 0", lm, numFalse)
+	}
+	return nil
+}

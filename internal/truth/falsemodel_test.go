@@ -1,0 +1,118 @@
+package truth
+
+import (
+	"math"
+	"testing"
+
+	"imc2/internal/numeric"
+)
+
+func TestUniformFalse(t *testing.T) {
+	u := UniformFalse{}
+	if got := u.AgreementProb(4); got != 0.25 {
+		t.Errorf("AgreementProb(4) = %v, want 0.25", got)
+	}
+	if got := u.LogMeanProb(4); !numeric.AlmostEqual(got, -math.Log(4), 1e-12) {
+		t.Errorf("LogMeanProb(4) = %v, want -ln 4", got)
+	}
+	if got := u.AgreementProb(0); got != 1 {
+		t.Errorf("AgreementProb(0) = %v, want degenerate 1", got)
+	}
+	if got := u.LogMeanProb(0); got != 0 {
+		t.Errorf("LogMeanProb(0) = %v, want 0", got)
+	}
+}
+
+func TestZipfFalseReducesToUniform(t *testing.T) {
+	z := ZipfFalse{S: 0}
+	u := UniformFalse{}
+	for _, n := range []int{1, 2, 5, 10} {
+		if got, want := z.AgreementProb(n), u.AgreementProb(n); !numeric.AlmostEqual(got, want, 1e-12) {
+			t.Errorf("Zipf(0).AgreementProb(%d) = %v, want %v", n, got, want)
+		}
+		if got, want := z.LogMeanProb(n), u.LogMeanProb(n); !numeric.AlmostEqual(got, want, 1e-12) {
+			t.Errorf("Zipf(0).LogMeanProb(%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestZipfFalseHandComputed(t *testing.T) {
+	// num=2, s=1: weights 1, 1/2 → probs 2/3, 1/3.
+	z := ZipfFalse{S: 1}
+	wantAgree := 4.0/9 + 1.0/9
+	if got := z.AgreementProb(2); !numeric.AlmostEqual(got, wantAgree, 1e-12) {
+		t.Errorf("AgreementProb = %v, want %v", got, wantAgree)
+	}
+	wantLog := (2.0/3)*math.Log(2.0/3) + (1.0/3)*math.Log(1.0/3)
+	if got := z.LogMeanProb(2); !numeric.AlmostEqual(got, wantLog, 1e-12) {
+		t.Errorf("LogMeanProb = %v, want %v", got, wantLog)
+	}
+}
+
+func TestZipfSkewIncreasesAgreement(t *testing.T) {
+	// More skew → higher chance two false providers collide.
+	prev := ZipfFalse{S: 0}.AgreementProb(5)
+	for _, s := range []float64{0.5, 1, 2, 4} {
+		cur := ZipfFalse{S: s}.AgreementProb(5)
+		if cur <= prev {
+			t.Errorf("agreement not increasing with skew: s=%v gives %v <= %v", s, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestDensityFalsePointLikeBeta(t *testing.T) {
+	// A Beta(2,2)-style density f(h) = 6h(1−h): ∫h²f = 0.3, so agreement
+	// for num=2 is 0.6; LogMean = 2·∫h·ln(h)·f(h)dh.
+	d := DensityFalse{F: func(h float64) float64 { return 6 * h * (1 - h) }}
+	if got := d.AgreementProb(2); !numeric.AlmostEqual(got, 0.6, 1e-9) {
+		t.Errorf("AgreementProb = %v, want 0.6", got)
+	}
+	lm := d.LogMeanProb(2)
+	if lm >= 0 {
+		t.Errorf("LogMeanProb = %v, want negative", lm)
+	}
+	// Analytic: ∫₀¹ 6h²(1−h)ln(h) dh = 6(∫h²ln h − ∫h³ln h) = 6(−1/9 + 1/16)
+	want := 2 * 6 * (-1.0/9 + 1.0/16)
+	if !numeric.AlmostEqual(lm, want, 1e-6) {
+		t.Errorf("LogMeanProb = %v, want %v", lm, want)
+	}
+}
+
+func TestDensityFalseClampsAgreement(t *testing.T) {
+	// f ≡ 1 on [0,1] gives num/3, which exceeds 1 for num ≥ 4; the model
+	// clamps into probability range.
+	d := DensityFalse{F: func(h float64) float64 { return 1 }}
+	if got := d.AgreementProb(9); got != 1 {
+		t.Errorf("AgreementProb clamp = %v, want 1", got)
+	}
+}
+
+func TestValidateFalseModel(t *testing.T) {
+	if err := validateFalseModel(UniformFalse{}, 3); err != nil {
+		t.Errorf("uniform rejected: %v", err)
+	}
+	bad := DensityFalse{F: func(h float64) float64 { return -1 }}
+	if err := validateFalseModel(bad, 3); err == nil {
+		t.Error("negative density accepted")
+	}
+}
+
+func TestDATEWithZipfFalseModel(t *testing.T) {
+	ds, truth := copierScenario(t, 6, 4, 40)
+	opt := DefaultOptions()
+	opt.FalseValues = ZipfFalse{S: 1.5}
+	res := mustDiscover(t, ds, MethodDATE, opt)
+	if p := precisionOf(t, ds, res, truth); p < 0.85 {
+		t.Errorf("DATE with Zipf false model precision = %v", p)
+	}
+}
+
+func TestDiscoverRejectsInvalidFalseModel(t *testing.T) {
+	ds, _ := copierScenario(t, 4, 0, 10)
+	opt := DefaultOptions()
+	opt.FalseValues = DensityFalse{F: func(h float64) float64 { return -5 }}
+	if _, err := Discover(ds, MethodDATE, opt); err == nil {
+		t.Fatal("invalid false model accepted")
+	}
+}

@@ -1,0 +1,106 @@
+package truth
+
+import (
+	"fmt"
+	"testing"
+
+	"imc2/internal/model"
+)
+
+// table1Dataset reproduces Table 1 of the paper: five workers stating the
+// affiliations of five researchers; workers 4 and 5 copy from worker 3
+// with errors introduced during copying.
+func table1Dataset(t *testing.T) (*model.Dataset, map[string]string) {
+	t.Helper()
+	b := model.NewBuilder()
+	tasks := []string{"Stonebraker", "Dewitt", "Bernstein", "Carey", "Halevy"}
+	for _, id := range tasks {
+		b.AddTask(model.Task{ID: id, NumFalse: 4, Requirement: 2, Value: 5})
+	}
+	answers := map[string][]string{
+		"w1": {"MIT", "MSR", "MSR", "UCI", "Google"},
+		"w2": {"Berkeley", "MSR", "MSR", "AT&T", "Google"},
+		"w3": {"MIT", "UWise", "MSR", "BEA", "UW"},
+		"w4": {"MIT", "UWisc", "MSR", "BEA", "UW"},
+		"w5": {"MS", "UWisc", "MSR", "BEA", "UW"},
+	}
+	for _, w := range []string{"w1", "w2", "w3", "w4", "w5"} {
+		for j, task := range tasks {
+			b.AddObservation(w, task, answers[w][j])
+		}
+	}
+	ds, err := b.Build()
+	if err != nil {
+		t.Fatalf("table1 build: %v", err)
+	}
+	truth := map[string]string{
+		"Stonebraker": "MIT",
+		"Dewitt":      "MSR",
+		"Bernstein":   "MSR",
+		"Carey":       "UCI",
+		"Halevy":      "Google",
+	}
+	return ds, truth
+}
+
+// copierScenario builds a deterministic campaign where a block of copiers
+// replicates one honest worker's answers (including its mistakes) across
+// most tasks. The copied mistakes form a false majority that defeats
+// voting but carries a strong pairwise-dependence signature.
+//
+// Layout: nHonest honest workers, nCopiers copiers, m tasks, domain of 4
+// values per task ("true", "f0", "f1", "f2").
+//   - Honest worker i answers every task; it errs exactly on tasks with
+//     (j+i) % errPeriod == 0, answering "f<i%3>".
+//   - Copier c copies honest worker 0's answer verbatim, except on tasks
+//     with (j+c) % 7 == 0 where it answers independently (truth).
+func copierScenario(t *testing.T, nHonest, nCopiers, m int) (*model.Dataset, map[string]string) {
+	t.Helper()
+	const errPeriod = 5
+	b := model.NewBuilder()
+	groundTruth := make(map[string]string, m)
+	for j := 0; j < m; j++ {
+		id := fmt.Sprintf("t%03d", j)
+		b.AddTask(model.Task{ID: id, NumFalse: 3, Requirement: 2, Value: 5})
+		groundTruth[id] = "true"
+	}
+	honestAnswer := func(i, j int) string {
+		if (j+i)%errPeriod == 0 {
+			return fmt.Sprintf("f%d", i%3)
+		}
+		return "true"
+	}
+	for i := 0; i < nHonest; i++ {
+		w := fmt.Sprintf("h%02d", i)
+		for j := 0; j < m; j++ {
+			b.AddObservation(w, fmt.Sprintf("t%03d", j), honestAnswer(i, j))
+		}
+	}
+	for c := 0; c < nCopiers; c++ {
+		w := fmt.Sprintf("c%02d", c)
+		for j := 0; j < m; j++ {
+			ans := honestAnswer(0, j) // copied from h00
+			if (j+c)%7 == 0 {
+				ans = "true" // independent contribution
+			}
+			b.AddObservation(w, fmt.Sprintf("t%03d", j), ans)
+		}
+	}
+	ds, err := b.Build()
+	if err != nil {
+		t.Fatalf("copierScenario build: %v", err)
+	}
+	return ds, groundTruth
+}
+
+func precisionOf(t *testing.T, ds *model.Dataset, res *Result, truth map[string]string) float64 {
+	t.Helper()
+	est := res.TruthMap(ds)
+	correct := 0
+	for task, want := range truth {
+		if est[task] == want {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(truth))
+}

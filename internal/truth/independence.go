@@ -1,0 +1,168 @@
+package truth
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// computeIndependence is step 2 of Algorithm 1: for every task j and every
+// value v, it estimates I — the probability that each provider of v
+// produced the value independently rather than copying it from another
+// provider of v (eq. 16).
+//
+// Exact computation must consider every possible dependence structure
+// inside the provider group W, which is exponential; DATE orders the group
+// greedily instead:
+//
+//  1. seed with the provider with the globally lowest total dependence
+//     probability (Algorithm 1 line 16),
+//  2. repeatedly append the provider with the maximal dependence on any
+//     already-ordered provider (line 19),
+//  3. give each appended provider I = Π_{k ordered before} (1 − r·P(i→k|D))
+//     (line 20).
+//
+// When exact is true (MethodED), the greedy ordering is replaced by
+// averaging I over all |W|! orderings for groups up to EDExactLimit and
+// over EDSamples deterministic random orderings for larger groups.
+func (s *state) computeIndependence(exact bool) {
+	for j := 0; j < s.m; j++ {
+		values := s.ds.Values(j)
+		for v := range values {
+			group := s.ds.ProvidersOf(j, int32(v))
+			switch {
+			case len(group) == 0:
+				continue
+			case len(group) == 1:
+				s.indep[group[0]][j] = 1
+			case exact:
+				s.independenceByEnumeration(j, group)
+			default:
+				s.independenceGreedy(j, group)
+			}
+		}
+	}
+}
+
+// independenceGreedy implements lines 16–22 of Algorithm 1 for one
+// provider group.
+func (s *state) independenceGreedy(j int, group []int) {
+	r := s.opt.CopyProb
+
+	// Seed: the provider with minimal total dependence (most plausibly
+	// independent), ties to the lower worker index for determinism.
+	seedPos := 0
+	for p := 1; p < len(group); p++ {
+		if s.totalDep[group[p]] < s.totalDep[group[seedPos]] {
+			seedPos = p
+		}
+	}
+
+	ordered := make([]int, 0, len(group))
+	remaining := append([]int(nil), group...)
+	remaining[seedPos], remaining[len(remaining)-1] = remaining[len(remaining)-1], remaining[seedPos]
+	seed := remaining[len(remaining)-1]
+	remaining = remaining[:len(remaining)-1]
+	sort.Ints(remaining) // deterministic scan order
+	ordered = append(ordered, seed)
+	s.indep[seed][j] = 1
+
+	// bestDep[i] tracks max_{k∈ordered} dep[i][k] for each remaining i.
+	bestDep := make(map[int]float64, len(remaining))
+	for _, i := range remaining {
+		bestDep[i] = s.dep[i][seed]
+	}
+
+	for len(remaining) > 0 {
+		//
+
+		// Pick the remaining provider with maximal dependence on the
+		// ordered set.
+		bestPos := 0
+		for p := 1; p < len(remaining); p++ {
+			if bestDep[remaining[p]] > bestDep[remaining[bestPos]] {
+				bestPos = p
+			}
+		}
+		next := remaining[bestPos]
+		remaining = append(remaining[:bestPos], remaining[bestPos+1:]...)
+
+		// I(next) = Π over already-ordered providers (eq. 16).
+		prod := 1.0
+		for _, k := range ordered {
+			prod *= 1 - r*s.dep[next][k]
+		}
+		s.indep[next][j] = prod
+		ordered = append(ordered, next)
+
+		for _, i := range remaining {
+			if d := s.dep[i][next]; d > bestDep[i] {
+				bestDep[i] = d
+			}
+		}
+	}
+}
+
+// independenceByEnumeration averages I over orderings of the provider
+// group: exactly (all permutations) for small groups, or over a
+// deterministic sample of random orderings for large ones. This is the ED
+// baseline of §VII-A; its cost grows factorially with the group size.
+func (s *state) independenceByEnumeration(j int, group []int) {
+	r := s.opt.CopyProb
+	g := len(group)
+	sums := make([]float64, g)
+	count := 0
+
+	accumulate := func(perm []int) {
+		// perm is an ordering of positions into group; position 0 is fully
+		// independent, later positions discount against predecessors.
+		for pos := 1; pos < g; pos++ {
+			i := group[perm[pos]]
+			prod := 1.0
+			for q := 0; q < pos; q++ {
+				prod *= 1 - r*s.dep[i][group[perm[q]]]
+			}
+			sums[perm[pos]] += prod
+		}
+		sums[perm[0]] += 1
+		count++
+	}
+
+	if g <= s.opt.edExactLimit() {
+		perm := make([]int, g)
+		for i := range perm {
+			perm[i] = i
+		}
+		permute(perm, 0, accumulate)
+	} else {
+		// Deterministic sampling: the stream depends only on the group's
+		// identity, keeping ED reproducible run to run.
+		seed := int64(j)*1_000_003 + int64(group[0])*31 + int64(g)
+		rng := rand.New(rand.NewSource(seed))
+		perm := make([]int, g)
+		for i := range perm {
+			perm[i] = i
+		}
+		for k := 0; k < s.opt.edSamples(); k++ {
+			rng.Shuffle(g, func(a, b int) { perm[a], perm[b] = perm[b], perm[a] })
+			accumulate(perm)
+		}
+	}
+
+	for pos, i := range group {
+		s.indep[i][j] = sums[pos] / float64(count)
+	}
+}
+
+// permute invokes visit with every permutation of xs[k:] (Heap-style
+// recursive generation; xs is reused between calls).
+func permute(xs []int, k int, visit func([]int)) {
+	if k == len(xs)-1 {
+		visit(xs)
+		return
+	}
+	for i := k; i < len(xs); i++ {
+		xs[k], xs[i] = xs[i], xs[k]
+		permute(xs, k+1, visit)
+		xs[k], xs[i] = xs[i], xs[k]
+	}
+}

@@ -1,0 +1,169 @@
+// Package truth implements the truth-discovery stage of IMC2: the DATE
+// algorithm (Dependence and Accuracy based Truth Estimation, paper §III),
+// its general-case extensions (§IV), and the evaluation baselines MV, NC,
+// and ED (§VII-A).
+package truth
+
+import (
+	"fmt"
+	"math"
+)
+
+// Method selects a truth-discovery algorithm.
+type Method int
+
+const (
+	// MethodDATE is the paper's algorithm: Bayesian copier detection plus
+	// accuracy-weighted voting (Algorithm 1).
+	MethodDATE Method = iota + 1
+	// MethodMV is majority voting: the value provided by the most workers
+	// wins.
+	MethodMV
+	// MethodNC ("no copier") runs only step 3 of DATE: iterative
+	// accuracy-weighted voting that assumes all workers are independent.
+	MethodNC
+	// MethodED ("enumerate dependence") replaces DATE's greedy ordering
+	// with averaging over enumerated orderings of each value's provider
+	// group — exponential in the group size.
+	MethodED
+)
+
+// String returns the method's conventional name.
+func (m Method) String() string {
+	switch m {
+	case MethodDATE:
+		return "DATE"
+	case MethodMV:
+		return "MV"
+	case MethodNC:
+		return "NC"
+	case MethodED:
+		return "ED"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// accClampMargin keeps accuracies strictly inside (0, 1); boundary values
+// would produce infinite vote weights in eq. 20.
+const accClampMargin = 1e-6
+
+// Options configures a truth-discovery run. The zero value is invalid; use
+// DefaultOptions as a starting point.
+type Options struct {
+	// CopyProb is r, the probability that a copier's value is copied
+	// rather than produced independently. Paper default after Fig. 3(b):
+	// 0.4.
+	CopyProb float64
+	// InitAccuracy is ε, the accuracy every worker starts with. Paper
+	// default after Fig. 3(a): 0.5.
+	InitAccuracy float64
+	// PriorDependence is α, the a-priori probability that any ordered
+	// worker pair is dependent. Paper default after Fig. 3(a): 0.2.
+	PriorDependence float64
+	// MaxIterations is φ; the loop stops when the estimated truth is
+	// stable or after this many iterations. Paper default: 100.
+	MaxIterations int
+
+	// Similarity, when non-nil, enables the §IV-A multiple-presentation
+	// extension: support counts of a value are augmented with
+	// SimilarityWeight times the similarity-weighted support of other
+	// values (eq. 21).
+	Similarity func(a, b string) float64
+	// SimilarityWeight is ρ ∈ [0, 1] in eq. 21.
+	SimilarityWeight float64
+	// SimilarityInDependence extends similarity into the dependence
+	// stage: values with Similarity ≥ SimilarityThreshold count as the
+	// same value when classifying shared answers as Ts/Tf/Td (eq. 7–13).
+	// The paper's eq. 21 only adjusts vote counts, which leaves a failure
+	// mode: systematic presentation variance creates shared "false"
+	// values — DATE's copier signal — and collapses precision (ablation
+	// A2). This flag is the natural completion of §IV-A that repairs it.
+	SimilarityInDependence bool
+	// SimilarityThreshold is the equivalence cut-off used by
+	// SimilarityInDependence; zero means 0.7.
+	SimilarityThreshold float64
+
+	// FalseValues models the distribution of false values (§IV-B).
+	// nil means the uniform model of §II-B.
+	FalseValues FalseValueModel
+
+	// EDExactLimit bounds exact ordering enumeration for MethodED: groups
+	// up to this size are enumerated exactly (size! orderings); larger
+	// groups average over EDSamples random orderings. Zero means the
+	// default of 6.
+	EDExactLimit int
+	// EDSamples is the number of sampled orderings for oversized groups
+	// in MethodED. Zero means the default of 720.
+	EDSamples int
+}
+
+// DefaultOptions returns the paper's default parameterization
+// (§VII: r=0.4, ε=0.5, α=0.2, φ=100).
+func DefaultOptions() Options {
+	return Options{
+		CopyProb:        0.4,
+		InitAccuracy:    0.5,
+		PriorDependence: 0.2,
+		MaxIterations:   100,
+		EDExactLimit:    6,
+		EDSamples:       720,
+	}
+}
+
+// Validate reports the first invalid field, if any.
+func (o Options) Validate() error {
+	inOpen01 := func(x float64) bool { return x > 0 && x < 1 && !math.IsNaN(x) }
+	if !inOpen01(o.CopyProb) {
+		return fmt.Errorf("truth: CopyProb %v must be in (0, 1)", o.CopyProb)
+	}
+	if !inOpen01(o.InitAccuracy) {
+		return fmt.Errorf("truth: InitAccuracy %v must be in (0, 1)", o.InitAccuracy)
+	}
+	if !inOpen01(o.PriorDependence) {
+		return fmt.Errorf("truth: PriorDependence %v must be in (0, 1)", o.PriorDependence)
+	}
+	if o.MaxIterations < 1 {
+		return fmt.Errorf("truth: MaxIterations %d must be >= 1", o.MaxIterations)
+	}
+	if o.SimilarityWeight < 0 || o.SimilarityWeight > 1 || math.IsNaN(o.SimilarityWeight) {
+		return fmt.Errorf("truth: SimilarityWeight %v must be in [0, 1]", o.SimilarityWeight)
+	}
+	if o.Similarity == nil && o.SimilarityWeight > 0 {
+		return fmt.Errorf("truth: SimilarityWeight set without a Similarity function")
+	}
+	if o.SimilarityInDependence && o.Similarity == nil {
+		return fmt.Errorf("truth: SimilarityInDependence set without a Similarity function")
+	}
+	if o.SimilarityThreshold < 0 || o.SimilarityThreshold > 1 || math.IsNaN(o.SimilarityThreshold) {
+		return fmt.Errorf("truth: SimilarityThreshold %v must be in [0, 1]", o.SimilarityThreshold)
+	}
+	if o.EDExactLimit < 0 {
+		return fmt.Errorf("truth: EDExactLimit %d must be >= 0", o.EDExactLimit)
+	}
+	if o.EDSamples < 0 {
+		return fmt.Errorf("truth: EDSamples %d must be >= 0", o.EDSamples)
+	}
+	return nil
+}
+
+func (o Options) edExactLimit() int {
+	if o.EDExactLimit == 0 {
+		return 6
+	}
+	return o.EDExactLimit
+}
+
+func (o Options) edSamples() int {
+	if o.EDSamples == 0 {
+		return 720
+	}
+	return o.EDSamples
+}
+
+func (o Options) similarityThreshold() float64 {
+	if o.SimilarityThreshold == 0 {
+		return 0.7
+	}
+	return o.SimilarityThreshold
+}

@@ -1,0 +1,85 @@
+package truth
+
+import (
+	"imc2/internal/model"
+	"imc2/internal/numeric"
+)
+
+// Result is the outcome of a truth-discovery run.
+type Result struct {
+	// Truth holds the estimated value index per task (model.NotAnswered
+	// for tasks nobody answered).
+	Truth []int32
+	// Accuracy is the matrix A: Accuracy[i][j] is worker i's estimated
+	// accuracy on task j, 0 where the worker did not answer.
+	Accuracy [][]float64
+	// Independence[i][j] is I, the probability that worker i provided its
+	// value for task j independently (1 for MV/NC, which assume
+	// independence).
+	Independence [][]float64
+	// Dependence[i][k] is P(i→k | D), the posterior probability that
+	// worker i copies from worker k; nil for methods that do not model
+	// dependence.
+	Dependence [][]float64
+	// Iterations is the number of refinement rounds executed.
+	Iterations int
+	// Converged reports whether the estimate stabilized before
+	// MaxIterations.
+	Converged bool
+	// Method records which algorithm produced the result.
+	Method Method
+}
+
+// TruthMap renders the estimate as taskID → value string, omitting
+// unanswered tasks.
+func (r *Result) TruthMap(ds *model.Dataset) map[string]string {
+	out := make(map[string]string, len(r.Truth))
+	for j, v := range r.Truth {
+		if v == model.NotAnswered {
+			continue
+		}
+		out[ds.Task(j).ID] = ds.ValueString(j, v)
+	}
+	return out
+}
+
+// WorkerAccuracy returns each worker's mean accuracy over the tasks it
+// answered (0 for workers that answered nothing).
+func (r *Result) WorkerAccuracy(ds *model.Dataset) []float64 {
+	out := make([]float64, ds.NumWorkers())
+	for i := range out {
+		tasks := ds.WorkerTasks(i)
+		if len(tasks) == 0 {
+			continue
+		}
+		var sum numeric.KahanSum
+		for _, j := range tasks {
+			sum.Add(r.Accuracy[i][j])
+		}
+		out[i] = sum.Sum() / float64(len(tasks))
+	}
+	return out
+}
+
+// AccuracyMatrix returns the A matrix in the shape the auction stage
+// consumes (alias of the stored matrix; callers must not mutate).
+func (r *Result) AccuracyMatrix() [][]float64 { return r.Accuracy }
+
+func newZeroMatrix(n, m int) [][]float64 {
+	backing := make([]float64, n*m)
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i], backing = backing[:m:m], backing[m:]
+	}
+	return rows
+}
+
+func newFilledMatrix(n, m int, fill float64) [][]float64 {
+	rows := newZeroMatrix(n, m)
+	for i := range rows {
+		for j := range rows[i] {
+			rows[i][j] = fill
+		}
+	}
+	return rows
+}

@@ -1,0 +1,122 @@
+package wire
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"imc2/internal/model"
+)
+
+// Client drives the campaign API from the worker (or operator) side.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient targets a platform at base (e.g. "http://127.0.0.1:8080").
+func NewClient(base string) *Client {
+	return &Client{
+		base: base,
+		hc:   &http.Client{Timeout: 30 * time.Second},
+	}
+}
+
+// Tasks fetches the published task list.
+func (c *Client) Tasks(ctx context.Context) ([]model.Task, error) {
+	var out []model.Task
+	if err := c.do(ctx, http.MethodGet, "/v1/tasks", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Submit posts a sealed submission.
+func (c *Client) Submit(ctx context.Context, sub Submission) error {
+	return c.do(ctx, http.MethodPost, "/v1/submissions", sub, nil)
+}
+
+// Close settles the campaign and returns the report.
+func (c *Client) Close(ctx context.Context) (*Report, error) {
+	var out Report
+	if err := c.do(ctx, http.MethodPost, "/v1/close", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Report fetches the settled report.
+func (c *Client) Report(ctx context.Context) (*Report, error) {
+	var out Report
+	if err := c.do(ctx, http.MethodGet, "/v1/report", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Audit fetches the copier-audit report of a settled campaign.
+func (c *Client) Audit(ctx context.Context) (*AuditReport, error) {
+	var out AuditReport
+	if err := c.do(ctx, http.MethodGet, "/v1/audit", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Healthy reports whether the platform answers its health check.
+func (c *Client) Healthy(ctx context.Context) bool {
+	err := c.do(ctx, http.MethodGet, "/v1/healthz", nil, nil)
+	return err == nil
+}
+
+// APIError is a non-2xx response from the platform.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("wire: platform returned %d: %s", e.Status, e.Message)
+}
+
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("wire: encoding request: %w", err)
+		}
+		body = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return fmt.Errorf("wire: building request: %w", err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("wire: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		var eb errorBody
+		msg := resp.Status
+		if err := json.NewDecoder(resp.Body).Decode(&eb); err == nil && eb.Error != "" {
+			msg = eb.Error
+		}
+		return &APIError{Status: resp.StatusCode, Message: msg}
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return fmt.Errorf("wire: decoding response: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,196 @@
+// Package wire exposes the crowdsourcing platform over HTTP with JSON
+// bodies, making the "platform in the cloud" of the paper's Fig. 1
+// runnable: cmd/platformd serves this API and cmd/workeragent drives the
+// client side.
+//
+// Endpoints:
+//
+//	GET  /v1/tasks        → published task list
+//	POST /v1/submissions  → sealed bid + data envelope
+//	POST /v1/close        → close the auction, run both stages, settle
+//	GET  /v1/report       → settled report (409 until closed)
+//	GET  /v1/healthz      → liveness
+package wire
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"sync"
+
+	"imc2/internal/platform"
+)
+
+// Submission is the JSON envelope a worker posts.
+type Submission struct {
+	Worker  string            `json:"worker"`
+	Price   float64           `json:"price"`
+	Answers map[string]string `json:"answers"`
+}
+
+// Report mirrors platform.Report for the wire.
+type Report struct {
+	Truth           map[string]string  `json:"truth"`
+	Winners         []string           `json:"winners"`
+	Payments        map[string]float64 `json:"payments"`
+	WorkerAccuracy  map[string]float64 `json:"worker_accuracy"`
+	SocialCost      float64            `json:"social_cost"`
+	TotalPayment    float64            `json:"total_payment"`
+	PlatformUtility float64            `json:"platform_utility"`
+	TruthIterations int                `json:"truth_iterations"`
+	Converged       bool               `json:"converged"`
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// Server serves one campaign. It is safe for concurrent use.
+type Server struct {
+	mu     sync.Mutex
+	p      *platform.Platform
+	cfg    platform.Config
+	report *Report
+	logf   func(format string, args ...any)
+}
+
+// NewServer wraps an open campaign. logf may be nil to silence logging.
+func NewServer(p *platform.Platform, cfg platform.Config, logf func(string, ...any)) *Server {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Server{p: p, cfg: cfg, logf: logf}
+}
+
+// Handler returns the HTTP routing for the campaign API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/tasks", s.handleTasks)
+	mux.HandleFunc("POST /v1/submissions", s.handleSubmit)
+	mux.HandleFunc("POST /v1/close", s.handleClose)
+	mux.HandleFunc("GET /v1/report", s.handleReport)
+	mux.HandleFunc("GET /v1/audit", s.handleAudit)
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+func (s *Server) handleTasks(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.p.Tasks())
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var sub Submission
+	if err := json.NewDecoder(r.Body).Decode(&sub); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("malformed submission: %v", err)})
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.report != nil {
+		writeJSON(w, http.StatusConflict, errorBody{Error: "auction already closed"})
+		return
+	}
+	err := s.p.Submit(platform.Submission{
+		Worker:  sub.Worker,
+		Price:   sub.Price,
+		Answers: sub.Answers,
+	})
+	switch {
+	case errors.Is(err, platform.ErrDuplicateSubmission):
+		writeJSON(w, http.StatusConflict, errorBody{Error: err.Error()})
+	case err != nil:
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+	default:
+		s.logf("submission accepted: worker=%s tasks=%d", sub.Worker, len(sub.Answers))
+		writeJSON(w, http.StatusAccepted, map[string]string{"status": "accepted"})
+	}
+}
+
+func (s *Server) handleClose(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.report != nil {
+		writeJSON(w, http.StatusOK, s.report)
+		return
+	}
+	rep, err := s.p.Run(s.cfg)
+	if err != nil {
+		writeJSON(w, http.StatusUnprocessableEntity, errorBody{Error: err.Error()})
+		return
+	}
+	s.report = toWireReport(rep)
+	s.logf("campaign settled: winners=%d social_cost=%.3f", len(rep.Winners), rep.SocialCost)
+	writeJSON(w, http.StatusOK, s.report)
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.report == nil {
+		writeJSON(w, http.StatusConflict, errorBody{Error: "auction not closed yet"})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.report)
+}
+
+// SuspectPair mirrors platform.SuspectPair for the wire.
+type SuspectPair struct {
+	WorkerA string  `json:"worker_a"`
+	WorkerB string  `json:"worker_b"`
+	AtoB    float64 `json:"a_to_b"`
+	BtoA    float64 `json:"b_to_a"`
+}
+
+// AuditReport is the copier-audit view of a settled campaign.
+type AuditReport struct {
+	Pairs        []SuspectPair      `json:"pairs"`
+	CopierScores map[string]float64 `json:"copier_scores"`
+}
+
+func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.report == nil {
+		writeJSON(w, http.StatusConflict, errorBody{Error: "auction not closed yet"})
+		return
+	}
+	audit := s.p.LastAudit()
+	if audit == nil {
+		writeJSON(w, http.StatusNotFound,
+			errorBody{Error: "no dependence audit available (truth method has no dependence model)"})
+		return
+	}
+	out := AuditReport{CopierScores: audit.CopierScores}
+	for _, pr := range audit.Pairs {
+		out.Pairs = append(out.Pairs, SuspectPair{
+			WorkerA: pr.WorkerA, WorkerB: pr.WorkerB, AtoB: pr.AtoB, BtoA: pr.BtoA,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func toWireReport(rep *platform.Report) *Report {
+	return &Report{
+		Truth:           rep.Truth,
+		Winners:         rep.Winners,
+		Payments:        rep.Payments,
+		WorkerAccuracy:  rep.WorkerAccuracy,
+		SocialCost:      rep.SocialCost,
+		TotalPayment:    rep.TotalPayment,
+		PlatformUtility: rep.PlatformUtility,
+		TruthIterations: rep.TruthIterations,
+		Converged:       rep.Converged,
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(body); err != nil {
+		log.Printf("wire: encoding response: %v", err)
+	}
+}

@@ -1,0 +1,310 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"imc2/internal/gen"
+	"imc2/internal/platform"
+	"imc2/internal/randx"
+)
+
+// startCampaign generates a workload, serves it over loopback HTTP, and
+// returns the client plus the generated campaign.
+func startCampaign(t *testing.T, seed int64) (*Client, *gen.Campaign, *httptest.Server) {
+	t.Helper()
+	spec := gen.DefaultSpec()
+	spec.Workers = 20
+	spec.Tasks = 15
+	spec.Copiers = 5
+	spec.TasksPerWorker = 9
+	// Over-provisioned so every instance keeps critical payments defined.
+	spec.RequirementLow, spec.RequirementHigh = 0.5, 1
+	spec.ParticipationDecay = 0.3
+	c, err := gen.NewCampaign(spec, randx.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := platform.New(c.Dataset.Tasks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(p, platform.DefaultConfig(), nil).Handler())
+	t.Cleanup(srv.Close)
+	return NewClient(srv.URL), c, srv
+}
+
+func submissionFor(c *gen.Campaign, i int) Submission {
+	ds := c.Dataset
+	answers := make(map[string]string)
+	for _, j := range ds.WorkerTasks(i) {
+		answers[ds.Task(j).ID] = ds.ValueString(j, ds.ValueOf(i, j))
+	}
+	return Submission{Worker: ds.WorkerID(i), Price: c.Costs[i], Answers: answers}
+}
+
+func TestEndToEndOverHTTP(t *testing.T) {
+	client, c, _ := startCampaign(t, 42)
+	ctx := context.Background()
+
+	if !client.Healthy(ctx) {
+		t.Fatal("health check failed")
+	}
+	tasks, err := client.Tasks(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != c.Dataset.NumTasks() {
+		t.Fatalf("tasks = %d, want %d", len(tasks), c.Dataset.NumTasks())
+	}
+
+	// Submit in worker-index order: the mechanisms break ties by index,
+	// so bit-exact equality with the local run requires the same
+	// submission order (concurrent submission is exercised separately).
+	for i := 0; i < c.Dataset.NumWorkers(); i++ {
+		if err := client.Submit(ctx, submissionFor(c, i)); err != nil {
+			t.Fatalf("worker %d submission failed: %v", i, err)
+		}
+	}
+
+	report, err := client.Close(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Winners) == 0 {
+		t.Fatal("no winners over the wire")
+	}
+
+	// The wire run must match the identical in-process run bit for bit.
+	p2, err := platform.New(c.Dataset.Tasks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < c.Dataset.NumWorkers(); i++ {
+		sub := submissionFor(c, i)
+		if err := p2.Submit(platform.Submission{
+			Worker: sub.Worker, Price: sub.Price, Answers: sub.Answers,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	local, err := p2.Run(platform.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(local.Winners) != fmt.Sprint(report.Winners) {
+		t.Errorf("winners differ: wire %v vs local %v", report.Winners, local.Winners)
+	}
+	if math.Abs(local.SocialCost-report.SocialCost) > 1e-9 {
+		t.Errorf("social cost differs: wire %v vs local %v", report.SocialCost, local.SocialCost)
+	}
+	for w, p := range local.Payments {
+		if math.Abs(report.Payments[w]-p) > 1e-9 {
+			t.Errorf("payment for %s differs: wire %v vs local %v", w, report.Payments[w], p)
+		}
+	}
+	for task, v := range local.Truth {
+		if report.Truth[task] != v {
+			t.Errorf("truth for %s differs: wire %q vs local %q", task, report.Truth[task], v)
+		}
+	}
+}
+
+func TestConcurrentSubmissions(t *testing.T) {
+	client, c, _ := startCampaign(t, 99)
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	errs := make([]error, c.Dataset.NumWorkers())
+	for i := 0; i < c.Dataset.NumWorkers(); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = client.Submit(ctx, submissionFor(c, i))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d concurrent submission failed: %v", i, err)
+		}
+	}
+	report, err := client.Close(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Winners) == 0 {
+		t.Fatal("no winners")
+	}
+	// Individual rationality must hold regardless of arrival order.
+	for _, w := range report.Winners {
+		i, ok := c.Dataset.WorkerIndex(w)
+		if !ok {
+			t.Fatalf("winner %q unknown", w)
+		}
+		if report.Payments[w] < c.Costs[i]-1e-9 {
+			t.Errorf("winner %q paid %v below cost %v", w, report.Payments[w], c.Costs[i])
+		}
+	}
+}
+
+func TestAuditEndpoint(t *testing.T) {
+	client, c, _ := startCampaign(t, 21)
+	ctx := context.Background()
+
+	// Before close: 409.
+	_, err := client.Audit(ctx)
+	var apiErr *APIError
+	if !asAPIError(err, &apiErr) || apiErr.Status != 409 {
+		t.Fatalf("audit before close: err = %v, want 409", err)
+	}
+
+	for i := 0; i < c.Dataset.NumWorkers(); i++ {
+		if err := client.Submit(ctx, submissionFor(c, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := client.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	audit, err := client.Audit(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(audit.Pairs) == 0 {
+		t.Fatal("audit returned no suspect pairs")
+	}
+	if len(audit.CopierScores) != c.Dataset.NumWorkers() {
+		t.Fatalf("copier scores = %d entries, want %d",
+			len(audit.CopierScores), c.Dataset.NumWorkers())
+	}
+	for _, pr := range audit.Pairs {
+		if pr.AtoB < 0 || pr.AtoB > 1 || pr.BtoA < 0 || pr.BtoA > 1 {
+			t.Fatalf("suspect pair probabilities out of range: %+v", pr)
+		}
+		if _, ok := c.Dataset.WorkerIndex(pr.WorkerA); !ok {
+			t.Fatalf("unknown worker in audit: %q", pr.WorkerA)
+		}
+	}
+	// Pairs arrive strongest-first.
+	for i := 1; i < len(audit.Pairs); i++ {
+		prev := audit.Pairs[i-1].AtoB + audit.Pairs[i-1].BtoA
+		cur := audit.Pairs[i].AtoB + audit.Pairs[i].BtoA
+		if cur > prev+1e-9 {
+			t.Fatalf("audit pairs not sorted at %d", i)
+		}
+	}
+}
+
+func TestReportBeforeClose(t *testing.T) {
+	client, _, _ := startCampaign(t, 5)
+	_, err := client.Report(context.Background())
+	var apiErr *APIError
+	if !asAPIError(err, &apiErr) || apiErr.Status != 409 {
+		t.Fatalf("err = %v, want 409 APIError", err)
+	}
+}
+
+func TestSubmitAfterCloseRejected(t *testing.T) {
+	client, c, _ := startCampaign(t, 7)
+	ctx := context.Background()
+	for i := 0; i < c.Dataset.NumWorkers(); i++ {
+		if err := client.Submit(ctx, submissionFor(c, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := client.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	err := client.Submit(ctx, Submission{
+		Worker: "latecomer", Price: 1, Answers: map[string]string{c.Dataset.Task(0).ID: "x"},
+	})
+	var apiErr *APIError
+	if !asAPIError(err, &apiErr) || apiErr.Status != 409 {
+		t.Fatalf("late submission: err = %v, want 409", err)
+	}
+}
+
+func TestDuplicateSubmissionConflict(t *testing.T) {
+	client, c, _ := startCampaign(t, 9)
+	ctx := context.Background()
+	sub := submissionFor(c, 0)
+	if err := client.Submit(ctx, sub); err != nil {
+		t.Fatal(err)
+	}
+	err := client.Submit(ctx, sub)
+	var apiErr *APIError
+	if !asAPIError(err, &apiErr) || apiErr.Status != 409 {
+		t.Fatalf("duplicate: err = %v, want 409", err)
+	}
+}
+
+func TestMalformedSubmissionRejected(t *testing.T) {
+	client, c, srv := startCampaign(t, 11)
+	ctx := context.Background()
+	// Invalid body straight to the endpoint.
+	resp, err := srv.Client().Post(srv.URL+"/v1/submissions", "application/json",
+		strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("malformed body: status = %d, want 400", resp.StatusCode)
+	}
+	// Structurally valid JSON but semantically bad (negative price).
+	err = client.Submit(ctx, Submission{Worker: "w", Price: -1,
+		Answers: map[string]string{c.Dataset.Task(0).ID: "v"}})
+	var apiErr *APIError
+	if !asAPIError(err, &apiErr) || apiErr.Status != 400 {
+		t.Fatalf("negative price: err = %v, want 400", err)
+	}
+}
+
+func TestCloseIsIdempotent(t *testing.T) {
+	client, c, _ := startCampaign(t, 13)
+	ctx := context.Background()
+	for i := 0; i < c.Dataset.NumWorkers(); i++ {
+		if err := client.Submit(ctx, submissionFor(c, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r1, err := client.Close(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := client.Close(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(r1.Winners) != fmt.Sprint(r2.Winners) {
+		t.Fatal("second close produced a different report")
+	}
+	r3, err := client.Report(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(r1.Winners) != fmt.Sprint(r3.Winners) {
+		t.Fatal("report endpoint disagrees with close")
+	}
+}
+
+func TestCloseWithoutSubmissions(t *testing.T) {
+	client, _, _ := startCampaign(t, 15)
+	_, err := client.Close(context.Background())
+	var apiErr *APIError
+	if !asAPIError(err, &apiErr) || apiErr.Status != 422 {
+		t.Fatalf("err = %v, want 422", err)
+	}
+}
+
+func asAPIError(err error, target **APIError) bool {
+	return errors.As(err, target)
+}
