@@ -1,14 +1,17 @@
 // Command platformd runs the crowdsourcing platform of the paper's Fig. 1
-// as an HTTP daemon: it publicizes a generated task set, accepts sealed
-// submissions from worker agents (cmd/workeragent), and settles the
-// campaign with DATE + the reverse auction when asked to close.
-//
-// The task set derives deterministically from -seed, so worker agents
-// started with the same seed produce a coherent campaign.
+// as an HTTP daemon hosting a registry of concurrent campaigns: it
+// pre-opens -campaigns generated task sets, accepts sealed submissions
+// from worker agents (cmd/workeragent) over the /v2 protocol, and settles
+// each campaign with DATE + the reverse auction when asked to close.
+// Campaign k derives deterministically from seed+k, so worker agents
+// started with the same seed produce coherent campaigns. The first
+// campaign doubles as the default campaign behind the /v1 shim, and
+// operators can create further campaigns at runtime via POST
+// /v2/campaigns.
 //
 // Usage:
 //
-//	platformd -addr :8080 -seed 42 -workers 40 -tasks 60
+//	platformd -addr :8080 -seed 42 -workers 40 -tasks 60 -campaigns 3
 package main
 
 import (
@@ -25,6 +28,7 @@ import (
 	"imc2/internal/gen"
 	"imc2/internal/platform"
 	"imc2/internal/randx"
+	"imc2/internal/registry"
 	"imc2/internal/wire"
 )
 
@@ -39,10 +43,11 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("platformd", flag.ContinueOnError)
 	var (
 		addr      = fs.String("addr", "127.0.0.1:8080", "listen address")
-		seed      = fs.Int64("seed", 42, "campaign seed (worker agents must match)")
-		workers   = fs.Int("workers", 40, "campaign worker population")
-		tasks     = fs.Int("tasks", 60, "number of tasks to publicize")
+		seed      = fs.Int64("seed", 42, "base campaign seed (worker agents must match; campaign k uses seed+k)")
+		workers   = fs.Int("workers", 40, "worker population per campaign")
+		tasks     = fs.Int("tasks", 60, "number of tasks to publicize per campaign")
 		copiers   = fs.Int("copiers", 10, "copiers in the population")
+		campaigns = fs.Int("campaigns", 1, "seeded campaigns to pre-open (first is the /v1 default)")
 		mechanism = fs.String("mechanism", "ra", "auction mechanism: ra, ga, or gb")
 		copyProb  = fs.Float64("r", 0.8, "DATE copy probability r")
 		alpha     = fs.Float64("alpha", 0.05, "DATE dependence prior α")
@@ -50,20 +55,14 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *campaigns < 1 {
+		return fmt.Errorf("-campaigns must be at least 1, got %d", *campaigns)
+	}
 
 	spec, err := campaignSpec(*workers, *tasks, *copiers)
 	if err != nil {
 		return err
 	}
-	c, err := gen.NewCampaign(spec, randx.New(*seed))
-	if err != nil {
-		return err
-	}
-	p, err := platform.New(c.Dataset.Tasks())
-	if err != nil {
-		return err
-	}
-
 	cfg := platform.DefaultConfig()
 	cfg.TruthOptions.CopyProb = *copyProb
 	cfg.TruthOptions.PriorDependence = *alpha
@@ -77,15 +76,32 @@ func run(args []string) error {
 	}
 
 	logger := log.New(os.Stderr, "platformd ", log.LstdFlags)
-	srv := wire.NewServer(p, cfg, logger.Printf)
+	reg := registry.New()
+	defaultID := ""
+	for k := 0; k < *campaigns; k++ {
+		c, err := gen.NewCampaign(spec, randx.New(*seed+int64(k)))
+		if err != nil {
+			return err
+		}
+		hosted, err := reg.Create(fmt.Sprintf("seed-%d", *seed+int64(k)), c.Dataset.Tasks(), cfg, false)
+		if err != nil {
+			return err
+		}
+		if k == 0 {
+			defaultID = hosted.ID()
+		}
+		logger.Printf("campaign %s open: %d tasks published, expecting %d workers (seed %d)",
+			hosted.ID(), *tasks, *workers, *seed+int64(k))
+	}
+
+	srv := wire.NewRegistryServer(reg, defaultID, cfg, logger.Printf)
 	httpServer := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	logger.Printf("campaign open: %d tasks published, expecting %d workers (seed %d)",
-		*tasks, *workers, *seed)
-	logger.Printf("listening on http://%s — POST /v1/close to settle", *addr)
+	logger.Printf("listening on http://%s — %d campaigns under /v2/campaigns, /v1 bound to %s",
+		*addr, *campaigns, defaultID)
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpServer.ListenAndServe() }()
@@ -99,7 +115,11 @@ func run(args []string) error {
 		logger.Printf("received %v, draining", sig)
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
-		return httpServer.Shutdown(ctx)
+		if err := httpServer.Shutdown(ctx); err != nil {
+			return err
+		}
+		// Abort in-flight asynchronous settles after the listener drains.
+		return srv.Shutdown(ctx)
 	}
 }
 

@@ -65,3 +65,9 @@ func TestRunRejectsBadOptions(t *testing.T) {
 		t.Fatal("invalid r accepted")
 	}
 }
+
+func TestRunRejectsBadCampaignCount(t *testing.T) {
+	if err := run([]string{"-campaigns", "0", "-addr", "127.0.0.1:0"}); err == nil {
+		t.Fatal("zero campaigns accepted")
+	}
+}

@@ -7,10 +7,15 @@
 //	workeragent -platform http://127.0.0.1:8080 -seed 42 -workers 40 -all
 //	workeragent -platform http://127.0.0.1:8080 -seed 42 -workers 40 -index 3
 //	workeragent -platform http://127.0.0.1:8080 -close
+//	workeragent -platform http://127.0.0.1:8080 -list
+//	workeragent -platform http://127.0.0.1:8080 -campaign cmp-… -seed 43 -all -close
 //
 // With -close the agent settles the auction and prints the report,
 // scoring the estimated truth against the ground truth it can reconstruct
-// from the seed.
+// from the seed. Without -campaign the agent drives the /v1
+// single-campaign shim; with -campaign (see -list for IDs) it targets one
+// campaign of a multi-campaign platformd over /v2, submitting -all as one
+// batch and closing asynchronously (it polls until the campaign settles).
 package main
 
 import (
@@ -38,15 +43,17 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("workeragent", flag.ContinueOnError)
 	var (
-		base    = fs.String("platform", "http://127.0.0.1:8080", "platform base URL")
-		seed    = fs.Int64("seed", 42, "campaign seed shared with platformd")
-		workers = fs.Int("workers", 40, "campaign worker population (must match platformd)")
-		tasks   = fs.Int("tasks", 60, "campaign task count (must match platformd)")
-		copiers = fs.Int("copiers", 10, "campaign copier count (must match platformd)")
-		index   = fs.Int("index", -1, "submit only this worker index")
-		all     = fs.Bool("all", false, "submit every worker in the population")
-		close_  = fs.Bool("close", false, "close the auction and print the report")
-		timeout = fs.Duration("timeout", time.Minute, "request deadline")
+		base     = fs.String("platform", "http://127.0.0.1:8080", "platform base URL")
+		seed     = fs.Int64("seed", 42, "campaign seed shared with platformd")
+		workers  = fs.Int("workers", 40, "campaign worker population (must match platformd)")
+		tasks    = fs.Int("tasks", 60, "campaign task count (must match platformd)")
+		copiers  = fs.Int("copiers", 10, "campaign copier count (must match platformd)")
+		index    = fs.Int("index", -1, "submit only this worker index")
+		all      = fs.Bool("all", false, "submit every worker in the population")
+		close_   = fs.Bool("close", false, "close the auction and print the report")
+		campaign = fs.String("campaign", "", "target this /v2 campaign ID (empty: the /v1 default campaign)")
+		list     = fs.Bool("list", false, "list the platform's campaigns and exit")
+		timeout  = fs.Duration("timeout", time.Minute, "request deadline")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -59,6 +66,10 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("platform at %s is not healthy", *base)
 	}
 
+	if *list {
+		return listCampaigns(ctx, client, out)
+	}
+
 	c, err := regenerate(*seed, *workers, *tasks, *copiers)
 	if err != nil {
 		return err
@@ -66,8 +77,20 @@ func run(args []string, out io.Writer) error {
 
 	switch {
 	case *all:
+		if *campaign != "" {
+			subs := make([]wire.Submission, 0, c.Dataset.NumWorkers())
+			for i := 0; i < c.Dataset.NumWorkers(); i++ {
+				subs = append(subs, submissionFor(c, i))
+			}
+			n, err := client.SubmitBatch(ctx, *campaign, subs)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "submitted %d workers\n", n)
+			break
+		}
 		for i := 0; i < c.Dataset.NumWorkers(); i++ {
-			if err := submit(ctx, client, c, i); err != nil {
+			if err := submit(ctx, client, *campaign, c, i); err != nil {
 				return err
 			}
 		}
@@ -76,24 +99,61 @@ func run(args []string, out io.Writer) error {
 		if *index >= c.Dataset.NumWorkers() {
 			return fmt.Errorf("index %d out of range [0, %d)", *index, c.Dataset.NumWorkers())
 		}
-		if err := submit(ctx, client, c, *index); err != nil {
+		if err := submit(ctx, client, *campaign, c, *index); err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "submitted worker %s\n", c.Dataset.WorkerID(*index))
 	case *close_:
 		// handled below
 	default:
-		return fmt.Errorf("nothing to do: pass -all, -index, or -close")
+		return fmt.Errorf("nothing to do: pass -all, -index, -close, or -list")
 	}
 
 	if *close_ {
-		report, err := client.Close(ctx)
+		report, err := closeCampaign(ctx, client, *campaign)
 		if err != nil {
 			return err
 		}
 		printReport(out, c, report)
 	}
 	return nil
+}
+
+// listCampaigns prints every campaign the platform hosts, following the
+// listing's pagination to the end.
+func listCampaigns(ctx context.Context, client *wire.Client, out io.Writer) error {
+	for offset := 0; ; {
+		page, err := client.Campaigns(ctx, offset, 0)
+		if err != nil {
+			return err
+		}
+		if offset == 0 {
+			fmt.Fprintf(out, "%d campaigns\n", page.Total)
+		}
+		for _, info := range page.Campaigns {
+			fmt.Fprintf(out, "  %s  %-9s  tasks=%d submissions=%d  %s\n",
+				info.ID, info.State, info.Tasks, info.Submissions, info.Name)
+		}
+		offset += len(page.Campaigns)
+		if offset >= page.Total || len(page.Campaigns) == 0 {
+			return nil
+		}
+	}
+}
+
+// closeCampaign settles either the /v1 default campaign (synchronous) or
+// a /v2 campaign (asynchronous: close, poll until settled, fetch report).
+func closeCampaign(ctx context.Context, client *wire.Client, campaign string) (*wire.Report, error) {
+	if campaign == "" {
+		return client.Close(ctx)
+	}
+	if _, err := client.CloseCampaign(ctx, campaign); err != nil {
+		return nil, err
+	}
+	if _, err := client.AwaitSettled(ctx, campaign, 0); err != nil {
+		return nil, err
+	}
+	return client.CampaignReport(ctx, campaign)
 }
 
 // regenerate rebuilds the campaign platformd generated (same spec shaping
@@ -114,19 +174,30 @@ func regenerate(seed int64, workers, tasks, copiers int) (*gen.Campaign, error) 
 	return gen.NewCampaign(spec, randx.New(seed))
 }
 
-func submit(ctx context.Context, client *wire.Client, c *gen.Campaign, i int) error {
+// submissionFor assembles worker i's sealed envelope.
+func submissionFor(c *gen.Campaign, i int) wire.Submission {
 	ds := c.Dataset
 	answers := make(map[string]string)
 	for _, j := range ds.WorkerTasks(i) {
 		answers[ds.Task(j).ID] = ds.ValueString(j, ds.ValueOf(i, j))
 	}
-	err := client.Submit(ctx, wire.Submission{
+	return wire.Submission{
 		Worker:  ds.WorkerID(i),
 		Price:   c.Costs[i],
 		Answers: answers,
-	})
+	}
+}
+
+func submit(ctx context.Context, client *wire.Client, campaign string, c *gen.Campaign, i int) error {
+	sub := submissionFor(c, i)
+	var err error
+	if campaign == "" {
+		err = client.Submit(ctx, sub)
+	} else {
+		err = client.SubmitTo(ctx, campaign, sub)
+	}
 	if err != nil {
-		return fmt.Errorf("worker %s: %w", ds.WorkerID(i), err)
+		return fmt.Errorf("worker %s: %w", sub.Worker, err)
 	}
 	return nil
 }

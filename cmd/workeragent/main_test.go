@@ -1,11 +1,13 @@
 package main
 
 import (
+	"fmt"
 	"net/http/httptest"
 	"strings"
 	"testing"
 
 	"imc2/internal/platform"
+	"imc2/internal/registry"
 	"imc2/internal/wire"
 )
 
@@ -101,5 +103,80 @@ func TestAgentUnreachablePlatform(t *testing.T) {
 	err := run([]string{"-platform", "http://127.0.0.1:1", "-timeout", "2s", "-all"}, &buf)
 	if err == nil || !strings.Contains(err.Error(), "not healthy") {
 		t.Fatalf("err = %v, want health failure", err)
+	}
+}
+
+// startMultiPlatform serves two registry campaigns with the agent's
+// regenerated shape: campaign k derives from seed+k.
+func startMultiPlatform(t *testing.T, seed int64, workers, tasks, copiers, campaigns int) (*httptest.Server, []string) {
+	t.Helper()
+	reg := registry.New()
+	ids := make([]string, 0, campaigns)
+	for k := 0; k < campaigns; k++ {
+		c, err := regenerate(seed+int64(k), workers, tasks, copiers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hosted, err := reg.Create(fmt.Sprintf("seed-%d", seed+int64(k)), c.Dataset.Tasks(), platform.DefaultConfig(), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, hosted.ID())
+	}
+	srv := wire.NewRegistryServer(reg, ids[0], platform.DefaultConfig(), nil)
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	return hs, ids
+}
+
+func TestAgentListCampaigns(t *testing.T) {
+	srv, ids := startMultiPlatform(t, 30, 20, 24, 5, 2)
+	var buf strings.Builder
+	if err := run([]string{"-platform", srv.URL, "-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "2 campaigns") {
+		t.Errorf("output = %q", out)
+	}
+	for _, id := range ids {
+		if !strings.Contains(out, id) {
+			t.Errorf("listing missing %s:\n%s", id, out)
+		}
+	}
+}
+
+func TestAgentDrivesV2Campaign(t *testing.T) {
+	srv, ids := startMultiPlatform(t, 40, 20, 24, 5, 2)
+	// Drive the second campaign (seed 41) over /v2: batch submit + close.
+	args := []string{
+		"-platform", srv.URL, "-seed", "41",
+		"-workers", "20", "-tasks", "24", "-copiers", "5",
+		"-campaign", ids[1],
+	}
+	var buf strings.Builder
+	if err := run(append(args, "-all"), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "submitted 20 workers") {
+		t.Errorf("output = %q", buf.String())
+	}
+	buf.Reset()
+	if err := run(append(args, "-close"), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"campaign settled", "precision vs ground truth", "winners:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("close output missing %q:\n%s", want, out)
+		}
+	}
+	// The first campaign is untouched by the second one's close.
+	buf.Reset()
+	if err := run([]string{"-platform", srv.URL, "-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "open") || !strings.Contains(buf.String(), "settled") {
+		t.Errorf("listing after one settle = %q", buf.String())
 	}
 }

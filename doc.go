@@ -18,8 +18,8 @@
 //     pays each winner its critical value.
 //
 // The package is a facade: the heavy lifting lives in internal packages
-// (truth, auction, platform, gen, experiment), and this package re-exports
-// the stable API. Quick tour:
+// (truth, auction, platform, registry, gen, experiment), and this package
+// re-exports the stable API. Quick tour:
 //
 //	// Build a dataset by hand…
 //	ds, err := imc2.NewDatasetBuilder().
@@ -38,6 +38,24 @@
 //	p, err := imc2.NewPlatform(ds.Tasks())
 //	… p.Submit(imc2.Submission{…}) …
 //	report, err := p.Run(imc2.DefaultPlatformConfig())
+//
+// A long-lived service hosts many concurrent campaigns in a registry;
+// each campaign walks an explicit lifecycle (Draft → Open → Closing →
+// Settled, or Cancelled) and settles off the caller's lock, so one slow
+// settle never blocks the others:
+//
+//	reg := imc2.NewCampaignRegistry()
+//	cfg := imc2.NewPlatformConfig(imc2.WithMechanism(imc2.MechanismReverseAuction))
+//	c, err := reg.Create("week-31", ds.Tasks(), cfg, false)
+//	… c.Submit(imc2.Submission{…}) …
+//	report, err := c.Settle(ctx)        // ctx-bounded two-stage settle
+//	state := c.State()                   // imc2.CampaignSettled
+//
+// Failures everywhere carry a machine-readable code (imc2.ErrorCodeOf;
+// sentinels imc2.ErrNotFound, imc2.ErrConflict, imc2.ErrInvalid,
+// imc2.ErrInfeasible, imc2.ErrMonopolist, imc2.ErrCancelled), which the
+// HTTP layer (internal/wire, see API.md) maps onto the versioned /v2
+// wire protocol.
 //
 // Every figure and table of the paper's evaluation regenerates through
 // RunExperiment (see cmd/imc2bench and EXPERIMENTS.md).

@@ -1,0 +1,3 @@
+module imc2
+
+go 1.24

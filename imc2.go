@@ -4,14 +4,51 @@ import (
 	"imc2/internal/auction"
 	"imc2/internal/experiment"
 	"imc2/internal/gen"
+	"imc2/internal/imcerr"
 	"imc2/internal/model"
 	"imc2/internal/platform"
 	"imc2/internal/randx"
+	"imc2/internal/registry"
 	"imc2/internal/simil"
 	"imc2/internal/stats"
 	"imc2/internal/strategy"
 	"imc2/internal/truth"
 )
+
+// ---- Error taxonomy --------------------------------------------------------
+
+// Error is the classified error every layer of the platform produces: a
+// machine-readable Code plus a message and an optional wrapped cause.
+type Error = imcerr.Error
+
+// ErrorCode is a machine-readable error class, stable across API
+// versions; the wire layer maps each code to an HTTP status.
+type ErrorCode = imcerr.Code
+
+// The error taxonomy.
+const (
+	CodeInvalid    = imcerr.CodeInvalid
+	CodeNotFound   = imcerr.CodeNotFound
+	CodeConflict   = imcerr.CodeConflict
+	CodeInfeasible = imcerr.CodeInfeasible
+	CodeMonopolist = imcerr.CodeMonopolist
+	CodeCancelled  = imcerr.CodeCancelled
+	CodeInternal   = imcerr.CodeInternal
+)
+
+// Bare-code sentinels for errors.Is tests against a whole class (the
+// auction sentinels ErrInfeasible and ErrMonopolist below carry the
+// matching codes, so they participate in the same taxonomy).
+var (
+	ErrInvalid   = imcerr.ErrInvalid
+	ErrNotFound  = imcerr.ErrNotFound
+	ErrConflict  = imcerr.ErrConflict
+	ErrCancelled = imcerr.ErrCancelled
+)
+
+// ErrorCodeOf extracts the outermost error code from any error chain
+// (CodeInternal when unclassified).
+func ErrorCodeOf(err error) ErrorCode { return imcerr.CodeOf(err) }
 
 // ---- Data model -----------------------------------------------------------
 
@@ -219,12 +256,73 @@ const (
 	MechanismGreedyBid      = platform.MechanismGreedyBid
 )
 
+// CampaignState is a campaign's lifecycle position:
+// Draft → Open → Closing → Settled, or Cancelled.
+type CampaignState = platform.State
+
+// Campaign lifecycle states.
+const (
+	CampaignDraft     = platform.StateDraft
+	CampaignOpen      = platform.StateOpen
+	CampaignClosing   = platform.StateClosing
+	CampaignSettled   = platform.StateSettled
+	CampaignCancelled = platform.StateCancelled
+)
+
 // NewPlatform opens a campaign over the given tasks.
 func NewPlatform(tasks []Task) (*Platform, error) { return platform.New(tasks) }
+
+// NewDraftPlatform declares a campaign without publicizing it; call its
+// Open method before accepting submissions.
+func NewDraftPlatform(tasks []Task) (*Platform, error) { return platform.NewDraft(tasks) }
 
 // DefaultPlatformConfig returns the paper's configuration:
 // DATE + ReverseAuction.
 func DefaultPlatformConfig() PlatformConfig { return platform.DefaultConfig() }
+
+// PlatformOption customizes a platform configuration built by
+// NewPlatformConfig.
+type PlatformOption func(*PlatformConfig)
+
+// WithTruthMethod selects the stage-1 truth-discovery algorithm.
+func WithTruthMethod(m TruthMethod) PlatformOption {
+	return func(cfg *PlatformConfig) { cfg.TruthMethod = m }
+}
+
+// WithTruthOptions replaces the stage-1 parameters wholesale.
+func WithTruthOptions(opt TruthOptions) PlatformOption {
+	return func(cfg *PlatformConfig) { cfg.TruthOptions = opt }
+}
+
+// WithMechanism selects the stage-2 auction mechanism.
+func WithMechanism(m Mechanism) PlatformOption {
+	return func(cfg *PlatformConfig) { cfg.Mechanism = m }
+}
+
+// NewPlatformConfig builds a configuration from the paper's defaults
+// plus the given options.
+func NewPlatformConfig(opts ...PlatformOption) PlatformConfig {
+	cfg := platform.DefaultConfig()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return cfg
+}
+
+// ---- Campaign registry (multi-campaign service) ------------------------------
+
+// CampaignRegistry hosts many concurrent campaigns in one process — the
+// store behind the /v2 wire protocol. Campaign lookup and creation are
+// sharded; each campaign settles under its own lifecycle, so one long
+// settle never blocks the others.
+type CampaignRegistry = registry.Registry
+
+// HostedCampaign is one registered campaign: a platform engine plus its
+// registry identity, settle configuration, and last settle failure.
+type HostedCampaign = registry.Campaign
+
+// NewCampaignRegistry returns an empty campaign registry.
+func NewCampaignRegistry() *CampaignRegistry { return registry.New() }
 
 // ---- Workload generation -----------------------------------------------------
 

@@ -4,6 +4,7 @@ package imc2_test
 // would touch, wired together exactly as the README shows.
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -201,5 +202,46 @@ func TestFacadeExperiments(t *testing.T) {
 	}
 	if !strings.Contains(tbl.CSV(), "DATE") {
 		t.Error("CSV missing series")
+	}
+}
+
+func TestFacadeRegistryLifecycle(t *testing.T) {
+	reg := imc2.NewCampaignRegistry()
+	campaign, err := imc2.NewCampaign(imc2.DefaultCampaignSpec(), imc2.NewRNG(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := imc2.NewPlatformConfig(
+		imc2.WithTruthMethod(imc2.MethodMV),
+		imc2.WithMechanism(imc2.MechanismGreedyBid),
+	)
+	if cfg.TruthMethod != imc2.MethodMV || cfg.Mechanism != imc2.MechanismGreedyBid {
+		t.Fatalf("options not applied: %+v", cfg)
+	}
+	hosted, err := reg.Create("facade", campaign.Dataset.Tasks(), cfg, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hosted.State() != imc2.CampaignDraft {
+		t.Fatalf("state = %v, want draft", hosted.State())
+	}
+	if err := hosted.Open(); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := reg.Get(hosted.ID()); err != nil || got != hosted {
+		t.Fatalf("Get = %v, %v", got, err)
+	}
+	_, err = reg.Get("cmp-nope")
+	if !errors.Is(err, imc2.ErrNotFound) || imc2.ErrorCodeOf(err) != imc2.CodeNotFound {
+		t.Fatalf("missing campaign err = %v", err)
+	}
+	if err := hosted.Cancel(); err != nil {
+		t.Fatal(err)
+	}
+	if hosted.State() != imc2.CampaignCancelled {
+		t.Fatalf("state = %v, want cancelled", hosted.State())
+	}
+	if _, total := reg.List(0, 10); total != 1 {
+		t.Fatalf("total = %d", total)
 	}
 }

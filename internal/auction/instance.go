@@ -9,6 +9,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"imc2/internal/imcerr"
 )
 
 // covered is the tolerance below which a residual requirement counts as
@@ -16,13 +18,14 @@ import (
 const covered = 1e-9
 
 // ErrInfeasible reports an instance whose workers cannot jointly meet some
-// task's accuracy requirement.
-var ErrInfeasible = errors.New("auction: accuracy requirements are not satisfiable")
+// task's accuracy requirement. It carries imcerr.CodeInfeasible so every
+// layer above (platform, registry, wire) classifies it uniformly.
+var ErrInfeasible error = imcerr.New(imcerr.CodeInfeasible, "auction: accuracy requirements are not satisfiable")
 
 // ErrMonopolist reports a winner whose removal makes the instance
 // infeasible; critical payments (and hence truthfulness) are undefined for
-// such a worker.
-var ErrMonopolist = errors.New("auction: a winner is irreplaceable (no critical payment exists)")
+// such a worker. It carries imcerr.CodeMonopolist.
+var ErrMonopolist error = imcerr.New(imcerr.CodeMonopolist, "auction: a winner is irreplaceable (no critical payment exists)")
 
 // Instance is a SOAC problem: select a minimum-cost worker subset whose
 // accuracies cover every task's requirement (eq. 4–6).

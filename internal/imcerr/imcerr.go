@@ -1,0 +1,124 @@
+// Package imcerr defines the typed error taxonomy shared by every layer
+// of the platform: the in-process campaign engine (internal/platform),
+// the campaign registry (internal/registry), the auction mechanisms
+// (internal/auction), and the HTTP surface (internal/wire) all classify
+// failures with the same machine-readable codes, and the wire layer maps
+// each code to an HTTP status in exactly one place.
+//
+// The taxonomy is deliberately small. A code answers the caller's only
+// actionable question — "what kind of failure is this?" — while the
+// message and the wrapped cause carry the details:
+//
+//	CodeInvalid     the request itself is malformed or violates validation
+//	CodeNotFound    the referenced campaign (or resource) does not exist
+//	CodeConflict    the operation is legal but not in the current state
+//	CodeInfeasible  the campaign cannot settle: requirements unsatisfiable
+//	CodeMonopolist  a winner is irreplaceable, so no critical payment exists
+//	CodeCancelled   the operation was abandoned via context cancellation
+//	CodeInternal    everything else
+//
+// Errors nest with the standard errors package: Wrap preserves the cause
+// chain for errors.Is/errors.As, and CodeOf extracts the outermost code
+// from any error.
+package imcerr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Code is a machine-readable error class, stable across API versions.
+type Code string
+
+// The taxonomy. The string values appear verbatim in wire responses.
+const (
+	CodeInvalid    Code = "invalid"
+	CodeNotFound   Code = "not_found"
+	CodeConflict   Code = "conflict"
+	CodeInfeasible Code = "infeasible"
+	CodeMonopolist Code = "monopolist"
+	CodeCancelled  Code = "cancelled"
+	CodeInternal   Code = "internal"
+)
+
+// Error is a classified error. Code is always set; Message and Err are
+// each optional.
+type Error struct {
+	Code    Code
+	Message string
+	// Err is the wrapped cause, reachable through errors.Unwrap.
+	Err error
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	switch {
+	case e.Message != "" && e.Err != nil:
+		return e.Message + ": " + e.Err.Error()
+	case e.Message != "":
+		return e.Message
+	case e.Err != nil:
+		return e.Err.Error()
+	default:
+		return string(e.Code)
+	}
+}
+
+// Unwrap exposes the cause chain to errors.Is and errors.As.
+func (e *Error) Unwrap() error { return e.Err }
+
+// Is makes errors.Is match by code: a bare-code sentinel (empty Message)
+// matches every Error of its code, while a sentinel that carries a
+// message matches only errors with that exact message.
+func (e *Error) Is(target error) bool {
+	t, ok := target.(*Error)
+	if !ok {
+		return false
+	}
+	return t.Code == e.Code && (t.Message == "" || t.Message == e.Message)
+}
+
+// Bare-code sentinels for errors.Is tests against the whole class, e.g.
+// errors.Is(err, imcerr.ErrNotFound).
+var (
+	ErrInvalid    = &Error{Code: CodeInvalid}
+	ErrNotFound   = &Error{Code: CodeNotFound}
+	ErrConflict   = &Error{Code: CodeConflict}
+	ErrInfeasible = &Error{Code: CodeInfeasible}
+	ErrMonopolist = &Error{Code: CodeMonopolist}
+	ErrCancelled  = &Error{Code: CodeCancelled}
+	ErrInternal   = &Error{Code: CodeInternal}
+)
+
+// New builds a classified error from a format string.
+func New(code Code, format string, args ...any) *Error {
+	return &Error{Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// Wrap classifies an existing error, keeping it reachable through
+// errors.Unwrap. Wrapping nil returns nil.
+func Wrap(code Code, err error) error {
+	if err == nil {
+		return nil
+	}
+	return &Error{Code: code, Err: err}
+}
+
+// Wrapf classifies an existing error and prefixes a formatted message.
+// Wrapping nil returns nil.
+func Wrapf(code Code, err error, format string, args ...any) error {
+	if err == nil {
+		return nil
+	}
+	return &Error{Code: code, Message: fmt.Sprintf(format, args...), Err: err}
+}
+
+// CodeOf returns the code of the outermost classified error in err's
+// chain, or CodeInternal if the chain carries no classification.
+func CodeOf(err error) Code {
+	var e *Error
+	if errors.As(err, &e) {
+		return e.Code
+	}
+	return CodeInternal
+}

@@ -1,0 +1,77 @@
+package imcerr
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestSentinelMatchesByCode(t *testing.T) {
+	err := New(CodeConflict, "campaign already settled")
+	if !errors.Is(err, ErrConflict) {
+		t.Error("conflict error does not match ErrConflict")
+	}
+	if errors.Is(err, ErrNotFound) {
+		t.Error("conflict error matches ErrNotFound")
+	}
+}
+
+func TestWrapPreservesCause(t *testing.T) {
+	cause := errors.New("boom")
+	err := Wrapf(CodeInvalid, cause, "validating spec")
+	if !errors.Is(err, cause) {
+		t.Error("wrapped cause lost")
+	}
+	if !errors.Is(err, ErrInvalid) {
+		t.Error("wrap lost the code")
+	}
+	if got := err.Error(); got != "validating spec: boom" {
+		t.Errorf("Error() = %q", got)
+	}
+}
+
+func TestWrapNil(t *testing.T) {
+	if Wrap(CodeInternal, nil) != nil {
+		t.Error("Wrap(nil) != nil")
+	}
+	if Wrapf(CodeInternal, nil, "x") != nil {
+		t.Error("Wrapf(nil) != nil")
+	}
+}
+
+func TestCodeOf(t *testing.T) {
+	tests := []struct {
+		err  error
+		want Code
+	}{
+		{New(CodeNotFound, "no such campaign"), CodeNotFound},
+		{fmt.Errorf("handler: %w", New(CodeInfeasible, "x")), CodeInfeasible},
+		{errors.New("plain"), CodeInternal},
+		{Wrap(CodeCancelled, errors.New("ctx")), CodeCancelled},
+	}
+	for _, tt := range tests {
+		if got := CodeOf(tt.err); got != tt.want {
+			t.Errorf("CodeOf(%v) = %q, want %q", tt.err, got, tt.want)
+		}
+	}
+}
+
+func TestMessageSentinelExactMatch(t *testing.T) {
+	exact := New(CodeConflict, "worker already submitted")
+	other := New(CodeConflict, "campaign settled")
+	if !errors.Is(New(CodeConflict, "worker already submitted"), exact) {
+		t.Error("same-message errors do not match")
+	}
+	if errors.Is(other, exact) {
+		t.Error("different-message errors match a message-bearing sentinel")
+	}
+}
+
+func TestErrorStringFallbacks(t *testing.T) {
+	if got := (&Error{Code: CodeInternal}).Error(); got != "internal" {
+		t.Errorf("bare code Error() = %q", got)
+	}
+	if got := (&Error{Code: CodeInternal, Err: errors.New("x")}).Error(); got != "x" {
+		t.Errorf("cause-only Error() = %q", got)
+	}
+}

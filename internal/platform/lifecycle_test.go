@@ -1,0 +1,179 @@
+package platform
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"imc2/internal/imcerr"
+)
+
+func TestStateStrings(t *testing.T) {
+	want := map[State]string{
+		StateDraft:     "draft",
+		StateOpen:      "open",
+		StateClosing:   "closing",
+		StateSettled:   "settled",
+		StateCancelled: "cancelled",
+	}
+	for st, name := range want {
+		if st.String() != name {
+			t.Errorf("%d.String() = %q, want %q", int(st), st.String(), name)
+		}
+		var round State
+		if err := round.UnmarshalText([]byte(name)); err != nil || round != st {
+			t.Errorf("UnmarshalText(%q) = %v, %v", name, round, err)
+		}
+	}
+	var st State
+	if err := st.UnmarshalText([]byte("nope")); !errors.Is(err, imcerr.ErrInvalid) {
+		t.Errorf("unknown state: err = %v, want CodeInvalid", err)
+	}
+}
+
+func TestDraftLifecycle(t *testing.T) {
+	p, err := NewDraft(testTasks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.State() != StateDraft {
+		t.Fatalf("state = %v, want draft", p.State())
+	}
+	sub := Submission{Worker: "w", Price: 1, Answers: map[string]string{"t1": "a"}}
+	if err := p.Submit(sub); !errors.Is(err, imcerr.ErrConflict) {
+		t.Fatalf("submit to draft: err = %v, want conflict", err)
+	}
+	if _, err := p.Settle(context.Background(), DefaultConfig()); !errors.Is(err, imcerr.ErrConflict) {
+		t.Fatalf("settle draft: err = %v, want conflict", err)
+	}
+	if err := p.Open(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Open(); err != nil {
+		t.Fatalf("re-open should be idempotent: %v", err)
+	}
+	if p.State() != StateOpen {
+		t.Fatalf("state = %v, want open", p.State())
+	}
+	if err := p.Submit(sub); err != nil {
+		t.Fatalf("submit to opened campaign: %v", err)
+	}
+}
+
+func TestCancelLifecycle(t *testing.T) {
+	p, _ := New(testTasks())
+	if err := p.Cancel(); err != nil {
+		t.Fatal(err)
+	}
+	if p.State() != StateCancelled {
+		t.Fatalf("state = %v, want cancelled", p.State())
+	}
+	if err := p.Cancel(); err != nil {
+		t.Fatalf("re-cancel should be idempotent: %v", err)
+	}
+	sub := Submission{Worker: "w", Price: 1, Answers: map[string]string{"t1": "a"}}
+	if err := p.Submit(sub); !errors.Is(err, imcerr.ErrConflict) {
+		t.Fatalf("submit to cancelled: err = %v, want conflict", err)
+	}
+	if _, err := p.Settle(context.Background(), DefaultConfig()); !errors.Is(err, imcerr.ErrConflict) {
+		t.Fatalf("settle cancelled: err = %v, want conflict", err)
+	}
+	if err := p.Open(); !errors.Is(err, imcerr.ErrConflict) {
+		t.Fatalf("open cancelled: err = %v, want conflict", err)
+	}
+}
+
+func TestSettleTransitionsAndIdempotence(t *testing.T) {
+	p, _ := smallCampaign(t, 31)
+	r1, err := p.Settle(context.Background(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.State() != StateSettled {
+		t.Fatalf("state = %v, want settled", p.State())
+	}
+	if p.SettledReport() != r1 {
+		t.Fatal("SettledReport does not return the settle outcome")
+	}
+	r2, err := p.Settle(context.Background(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Fatal("second settle recomputed instead of returning the cached report")
+	}
+	if err := p.Cancel(); !errors.Is(err, imcerr.ErrConflict) {
+		t.Fatalf("cancel settled: err = %v, want conflict", err)
+	}
+	sub := Submission{Worker: "late", Price: 1, Answers: map[string]string{p.tasks[0].ID: "a"}}
+	if err := p.Submit(sub); !errors.Is(err, imcerr.ErrConflict) {
+		t.Fatalf("submit after settle: err = %v, want conflict", err)
+	}
+}
+
+func TestSettleConcurrentCallersShareOutcome(t *testing.T) {
+	p, _ := smallCampaign(t, 33)
+	const callers = 8
+	reports := make([]*Report, callers)
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			reports[i], errs[i] = p.Settle(context.Background(), DefaultConfig())
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if reports[i] != reports[0] {
+			t.Fatalf("caller %d observed a different report", i)
+		}
+	}
+}
+
+func TestSettleCancelledContext(t *testing.T) {
+	p, _ := smallCampaign(t, 35)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := p.Settle(ctx, DefaultConfig())
+	if !errors.Is(err, imcerr.ErrCancelled) {
+		t.Fatalf("err = %v, want cancelled", err)
+	}
+	// A failed settle returns the campaign to Open so it can be retried.
+	if p.State() != StateOpen {
+		t.Fatalf("state after abandoned settle = %v, want open", p.State())
+	}
+	if _, err := p.Settle(context.Background(), DefaultConfig()); err != nil {
+		t.Fatalf("retry after abandoned settle: %v", err)
+	}
+}
+
+func TestSettleErrorCodes(t *testing.T) {
+	p, _ := New(testTasks())
+	_, err := p.Settle(context.Background(), DefaultConfig())
+	if !errors.Is(err, imcerr.ErrInfeasible) {
+		t.Fatalf("no submissions: err = %v, want infeasible", err)
+	}
+	p2, _ := smallCampaign(t, 37)
+	cfg := DefaultConfig()
+	cfg.Mechanism = Mechanism(99)
+	_, err = p2.Settle(context.Background(), cfg)
+	if imcerr.CodeOf(err) != imcerr.CodeInvalid {
+		t.Fatalf("unknown mechanism: code = %v, want invalid", imcerr.CodeOf(err))
+	}
+	if p2.State() != StateOpen {
+		t.Fatalf("state after failed settle = %v, want open", p2.State())
+	}
+}
+
+func TestStateFormatting(t *testing.T) {
+	if got := fmt.Sprint(State(42)); got != "state(42)" {
+		t.Fatalf("State(42) = %q", got)
+	}
+}

@@ -6,11 +6,13 @@
 package platform
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"sort"
+	"sync"
 
 	"imc2/internal/auction"
+	"imc2/internal/imcerr"
 	"imc2/internal/model"
 	"imc2/internal/truth"
 )
@@ -70,34 +72,54 @@ type Submission struct {
 	Answers map[string]string
 }
 
-// ErrDuplicateSubmission reports a worker submitting twice.
-var ErrDuplicateSubmission = errors.New("platform: worker already submitted")
+// ErrDuplicateSubmission reports a worker submitting twice. It carries
+// imcerr.CodeConflict.
+var ErrDuplicateSubmission error = imcerr.New(imcerr.CodeConflict, "platform: worker already submitted")
 
-// Platform runs one campaign. Construct with New, feed with Submit, and
-// settle with Run.
+// Platform runs one campaign through its lifecycle (see State). Construct
+// with New (or NewDraft), feed with Submit, and settle with Settle. All
+// methods are safe for concurrent use; the two settle stages run without
+// holding the campaign lock.
 type Platform struct {
 	tasks   []model.Task
 	taskIDs map[string]bool
-	subs    []Submission
-	byID    map[string]bool
-	audit   *Audit
+
+	mu       sync.Mutex
+	state    State
+	settling chan struct{} // non-nil while StateClosing; closed on exit
+	subs     []Submission
+	byID     map[string]bool
+	report   *Report
+	audit    *Audit
 }
 
-// New opens a campaign over the given tasks.
+// New opens a campaign over the given tasks (state Open).
 func New(tasks []model.Task) (*Platform, error) {
+	p, err := NewDraft(tasks)
+	if err != nil {
+		return nil, err
+	}
+	p.state = StateOpen
+	return p, nil
+}
+
+// NewDraft declares a campaign without publicizing it (state Draft);
+// submissions are rejected until Open is called.
+func NewDraft(tasks []model.Task) (*Platform, error) {
 	if len(tasks) == 0 {
-		return nil, errors.New("platform: campaign needs at least one task")
+		return nil, imcerr.New(imcerr.CodeInvalid, "platform: campaign needs at least one task")
 	}
 	p := &Platform{
 		taskIDs: make(map[string]bool, len(tasks)),
 		byID:    make(map[string]bool),
+		state:   StateDraft,
 	}
 	for _, t := range tasks {
 		if err := t.Validate(); err != nil {
-			return nil, err
+			return nil, imcerr.Wrap(imcerr.CodeInvalid, err)
 		}
 		if p.taskIDs[t.ID] {
-			return nil, fmt.Errorf("platform: duplicate task %q", t.ID)
+			return nil, imcerr.New(imcerr.CodeInvalid, "platform: duplicate task %q", t.ID)
 		}
 		p.taskIDs[t.ID] = true
 		p.tasks = append(p.tasks, t)
@@ -110,26 +132,41 @@ func (p *Platform) Tasks() []model.Task {
 	return append([]model.Task(nil), p.tasks...)
 }
 
+// NumTasks counts the published tasks without copying them.
+func (p *Platform) NumTasks() int { return len(p.tasks) }
+
 // Submit registers a sealed submission. Each worker may submit once; the
 // submission must bid a non-negative price and answer at least one
-// published task.
+// published task. Submissions are only accepted while the campaign is
+// Open.
 func (p *Platform) Submit(sub Submission) error {
 	if err := (model.Bid{Worker: sub.Worker, Price: sub.Price}).Validate(); err != nil {
-		return err
-	}
-	if p.byID[sub.Worker] {
-		return fmt.Errorf("%w: %q", ErrDuplicateSubmission, sub.Worker)
+		return imcerr.Wrap(imcerr.CodeInvalid, err)
 	}
 	if len(sub.Answers) == 0 {
-		return fmt.Errorf("platform: submission from %q has no answers", sub.Worker)
+		return imcerr.New(imcerr.CodeInvalid, "platform: submission from %q has no answers", sub.Worker)
 	}
 	for taskID, v := range sub.Answers {
 		if !p.taskIDs[taskID] {
-			return fmt.Errorf("platform: %q answered unpublished task %q", sub.Worker, taskID)
+			return imcerr.New(imcerr.CodeInvalid, "platform: %q answered unpublished task %q", sub.Worker, taskID)
 		}
 		if v == "" {
-			return fmt.Errorf("platform: %q submitted an empty value for %q", sub.Worker, taskID)
+			return imcerr.New(imcerr.CodeInvalid, "platform: %q submitted an empty value for %q", sub.Worker, taskID)
 		}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch p.state {
+	case StateOpen:
+	case StateDraft:
+		return imcerr.New(imcerr.CodeConflict, "platform: campaign is still a draft")
+	case StateCancelled:
+		return imcerr.New(imcerr.CodeConflict, "platform: campaign is cancelled")
+	default: // Closing, Settled
+		return imcerr.New(imcerr.CodeConflict, "platform: auction already closed")
+	}
+	if p.byID[sub.Worker] {
+		return fmt.Errorf("%w: %q", ErrDuplicateSubmission, sub.Worker)
 	}
 	p.byID[sub.Worker] = true
 	p.subs = append(p.subs, sub)
@@ -137,7 +174,11 @@ func (p *Platform) Submit(sub Submission) error {
 }
 
 // Submissions returns how many workers have submitted.
-func (p *Platform) Submissions() int { return len(p.subs) }
+func (p *Platform) Submissions() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.subs)
+}
 
 // Report is the settled campaign outcome.
 type Report struct {
@@ -176,17 +217,33 @@ type Audit struct {
 	CopierScores map[string]float64
 }
 
-// Run executes both stages and settles the campaign.
+// Run executes both stages and settles the campaign. It is the
+// synchronous convenience form of Settle with a background context; once
+// settled, subsequent calls return the cached report.
 func (p *Platform) Run(cfg Config) (*Report, error) {
+	return p.Settle(context.Background(), cfg)
+}
+
+// runStages executes truth discovery and the auction. It must only be
+// called by Settle while the campaign is Closing (submissions frozen),
+// and deliberately holds no lock: ctx is checked at stage boundaries so
+// an abandoned settle stops between the expensive phases.
+func (p *Platform) runStages(ctx context.Context, cfg Config) (*Report, *Audit, error) {
+	if err := checkCtx(ctx); err != nil {
+		return nil, nil, err
+	}
 	ds, bids, err := p.assemble()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	res, err := truth.Discover(ds, cfg.TruthMethod, cfg.TruthOptions)
 	if err != nil {
-		return nil, fmt.Errorf("platform: truth discovery: %w", err)
+		return nil, nil, imcerr.Wrapf(imcerr.CodeInvalid, err, "platform: truth discovery")
 	}
-	p.audit = buildAudit(ds, res, 20)
+	if err := checkCtx(ctx); err != nil {
+		return nil, nil, err
+	}
+	audit := buildAudit(ds, res, 20)
 	in := BuildInstance(ds, res.Accuracy, bids)
 	var out *auction.Outcome
 	switch cfg.Mechanism {
@@ -197,10 +254,13 @@ func (p *Platform) Run(cfg Config) (*Report, error) {
 	case MechanismGreedyBid:
 		out, err = auction.GreedyBid(in)
 	default:
-		return nil, fmt.Errorf("platform: unknown mechanism %v", cfg.Mechanism)
+		return nil, nil, imcerr.New(imcerr.CodeInvalid, "platform: unknown mechanism %v", cfg.Mechanism)
 	}
 	if err != nil {
-		return nil, fmt.Errorf("platform: %v: %w", cfg.Mechanism, err)
+		return nil, nil, fmt.Errorf("platform: %v: %w", cfg.Mechanism, err)
+	}
+	if err := checkCtx(ctx); err != nil {
+		return nil, nil, err
 	}
 
 	values := make([]float64, ds.NumTasks())
@@ -225,14 +285,14 @@ func (p *Platform) Run(cfg Config) (*Report, error) {
 	for i, a := range res.WorkerAccuracy(ds) {
 		report.WorkerAccuracy[ds.WorkerID(i)] = a
 	}
-	return report, nil
+	return report, audit, nil
 }
 
 // assemble compiles the submissions into the dataset plus a bid vector
 // aligned with the dataset's worker indexing.
 func (p *Platform) assemble() (*model.Dataset, []float64, error) {
 	if len(p.subs) == 0 {
-		return nil, nil, errors.New("platform: no submissions")
+		return nil, nil, imcerr.New(imcerr.CodeInfeasible, "platform: no submissions")
 	}
 	b := model.NewBuilder()
 	for _, t := range p.tasks {
@@ -264,9 +324,13 @@ func (p *Platform) assemble() (*model.Dataset, []float64, error) {
 	return ds, bids, nil
 }
 
-// LastAudit returns the dependence audit of the most recent Run, or nil
+// LastAudit returns the dependence audit of the settled campaign, or nil
 // if no dependence-aware run has settled yet.
-func (p *Platform) LastAudit() *Audit { return p.audit }
+func (p *Platform) LastAudit() *Audit {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.audit
+}
 
 // buildAudit converts a truth result's dependence posterior into the
 // platform's audit report.

@@ -1,0 +1,133 @@
+package registry
+
+import (
+	"context"
+	"sync"
+
+	"imc2/internal/imcerr"
+	"imc2/internal/model"
+	"imc2/internal/platform"
+)
+
+// Campaign is one registered campaign: a platform engine plus the
+// registry-level identity, settle configuration, and the outcome of the
+// last failed settle (surfaced to pollers of an async close). All methods
+// are safe for concurrent use.
+type Campaign struct {
+	id   string
+	name string
+	p    *platform.Platform
+	cfg  platform.Config
+
+	mu        sync.Mutex
+	settleErr error
+}
+
+// ID returns the registry-assigned campaign ID.
+func (c *Campaign) ID() string { return c.id }
+
+// Name returns the operator-chosen campaign name (may be empty).
+func (c *Campaign) Name() string { return c.name }
+
+// Config returns the settle configuration fixed at creation.
+func (c *Campaign) Config() platform.Config { return c.cfg }
+
+// State reports the campaign's lifecycle state.
+func (c *Campaign) State() platform.State { return c.p.State() }
+
+// Tasks returns the published task list.
+func (c *Campaign) Tasks() []model.Task { return c.p.Tasks() }
+
+// NumTasks counts the published tasks without copying them.
+func (c *Campaign) NumTasks() int { return c.p.NumTasks() }
+
+// Submissions counts accepted submissions.
+func (c *Campaign) Submissions() int { return c.p.Submissions() }
+
+// Open publicizes a draft campaign.
+func (c *Campaign) Open() error { return c.p.Open() }
+
+// Cancel abandons a draft or open campaign.
+func (c *Campaign) Cancel() error { return c.p.Cancel() }
+
+// Submit registers one sealed submission.
+func (c *Campaign) Submit(sub platform.Submission) error { return c.p.Submit(sub) }
+
+// SubmitBatch registers submissions in order until the first failure and
+// reports how many were accepted alongside that failure (all accepted →
+// nil error). Partial acceptance stands: accepted submissions are not
+// rolled back, matching what a worker observes when submitting one by
+// one.
+func (c *Campaign) SubmitBatch(subs []platform.Submission) (int, error) {
+	for i, sub := range subs {
+		if err := c.p.Submit(sub); err != nil {
+			return i, imcerr.Wrapf(imcerr.CodeOf(err), err, "registry: batch submission %d (worker %q)", i, sub.Worker)
+		}
+	}
+	return len(subs), nil
+}
+
+// Settle closes the campaign and runs both stages under the campaign's
+// configuration, recording the attempt's outcome for SettleErr (starting
+// it clears the previous attempt's failure). While one caller runs the
+// stages, concurrent callers wait; once settled everyone shares the
+// cached report. After a failed settle the campaign is Open again, so a
+// waiting caller re-attempts the settle — submissions accepted since the
+// failure may have repaired the instance.
+func (c *Campaign) Settle(ctx context.Context) (*platform.Report, error) {
+	c.ClearSettleErr()
+	rep, err := c.p.Settle(ctx, c.cfg)
+	c.mu.Lock()
+	c.settleErr = err
+	c.mu.Unlock()
+	return rep, err
+}
+
+// ClearSettleErr forgets the last settle failure. Schedulers that begin
+// a settle asynchronously call it synchronously first, so a poller never
+// reads the previous attempt's error as the new attempt's outcome.
+func (c *Campaign) ClearSettleErr() {
+	c.mu.Lock()
+	c.settleErr = nil
+	c.mu.Unlock()
+}
+
+// SettleErr returns the failure of the most recent settle attempt, or nil
+// if none has failed (or none has run). It is how an asynchronously
+// closed campaign surfaces "the settle you scheduled went wrong".
+func (c *Campaign) SettleErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.settleErr
+}
+
+// Report returns the settled report, or a conflict while the campaign has
+// not settled. If the last settle attempt failed, that failure is
+// returned instead so pollers see the real cause.
+func (c *Campaign) Report() (*platform.Report, error) {
+	if rep := c.p.SettledReport(); rep != nil {
+		return rep, nil
+	}
+	if err := c.SettleErr(); err != nil {
+		return nil, err
+	}
+	return nil, imcerr.New(imcerr.CodeConflict, "registry: campaign %q not settled yet", c.id)
+}
+
+// Audit returns the copier audit of a settled campaign. Not-yet-settled
+// campaigns are a conflict; settled campaigns whose truth method carries
+// no dependence model have no audit (not found).
+func (c *Campaign) Audit() (*platform.Audit, error) {
+	if c.p.SettledReport() == nil {
+		if err := c.SettleErr(); err != nil {
+			return nil, err
+		}
+		return nil, imcerr.New(imcerr.CodeConflict, "registry: campaign %q not settled yet", c.id)
+	}
+	audit := c.p.LastAudit()
+	if audit == nil {
+		return nil, imcerr.New(imcerr.CodeNotFound,
+			"registry: no dependence audit available (truth method has no dependence model)")
+	}
+	return audit, nil
+}

@@ -1,0 +1,151 @@
+// Package registry hosts many concurrent crowdsourcing campaigns inside
+// one process — the multiplexing the paper's Fig. 1 platform needs to
+// serve more than a single auction per daemon. The store is sharded so
+// campaign lookup and creation never contend on a single lock, and each
+// campaign settles under its own lifecycle (see internal/platform.State),
+// so a long two-stage settle in one campaign cannot block traffic to any
+// other.
+package registry
+
+import (
+	"hash/fnv"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"imc2/internal/imcerr"
+	"imc2/internal/model"
+	"imc2/internal/platform"
+)
+
+// numShards spreads campaigns over independent locks. A power of two
+// keeps the modulo cheap; 16 shards comfortably serve thousands of
+// campaigns.
+const numShards = 16
+
+// Registry is a concurrent campaign store. The zero value is not usable;
+// construct with New.
+type Registry struct {
+	seq    atomic.Uint64
+	shards [numShards]shard
+}
+
+type shard struct {
+	mu   sync.RWMutex
+	byID map[string]*Campaign
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	r := &Registry{}
+	for i := range r.shards {
+		r.shards[i].byID = make(map[string]*Campaign)
+	}
+	return r
+}
+
+func (r *Registry) shardFor(id string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return &r.shards[h.Sum32()%numShards]
+}
+
+// nextID mints a campaign ID. Zero-padded hex of a monotone counter, so
+// lexicographic order is creation order and List pages deterministically.
+func (r *Registry) nextID() string {
+	const hexDigits = "0123456789abcdef"
+	n := r.seq.Add(1)
+	buf := []byte("cmp-0000000000000000")
+	for i := len(buf) - 1; n > 0; i-- {
+		buf[i] = hexDigits[n&0xf]
+		n >>= 4
+	}
+	return string(buf)
+}
+
+// Create opens a new campaign over the given tasks and registers it. With
+// draft true the campaign starts in StateDraft and must be opened before
+// it accepts submissions.
+func (r *Registry) Create(name string, tasks []model.Task, cfg platform.Config, draft bool) (*Campaign, error) {
+	var (
+		p   *platform.Platform
+		err error
+	)
+	if draft {
+		p, err = platform.NewDraft(tasks)
+	} else {
+		p, err = platform.New(tasks)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return r.adopt(name, p, cfg), nil
+}
+
+// Adopt registers an existing platform as a campaign — the bridge that
+// lets a pre-built single-campaign platform (the /v1 world) live inside
+// the registry.
+func (r *Registry) Adopt(name string, p *platform.Platform, cfg platform.Config) *Campaign {
+	return r.adopt(name, p, cfg)
+}
+
+func (r *Registry) adopt(name string, p *platform.Platform, cfg platform.Config) *Campaign {
+	c := &Campaign{id: r.nextID(), name: name, p: p, cfg: cfg}
+	s := r.shardFor(c.id)
+	s.mu.Lock()
+	s.byID[c.id] = c
+	s.mu.Unlock()
+	return c
+}
+
+// Get looks a campaign up by ID.
+func (r *Registry) Get(id string) (*Campaign, error) {
+	s := r.shardFor(id)
+	s.mu.RLock()
+	c := s.byID[id]
+	s.mu.RUnlock()
+	if c == nil {
+		return nil, imcerr.New(imcerr.CodeNotFound, "registry: no campaign %q", id)
+	}
+	return c, nil
+}
+
+// Len counts registered campaigns.
+func (r *Registry) Len() int {
+	n := 0
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.RLock()
+		n += len(s.byID)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// List returns one page of campaigns in creation (= ID) order plus the
+// total count. Offset past the end yields an empty page; limit <= 0
+// means "the rest".
+func (r *Registry) List(offset, limit int) ([]*Campaign, int) {
+	var all []*Campaign
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.RLock()
+		for _, c := range s.byID {
+			all = append(all, c)
+		}
+		s.mu.RUnlock()
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].id < all[j].id })
+	total := len(all)
+	if offset < 0 {
+		offset = 0
+	}
+	if offset > total {
+		offset = total
+	}
+	all = all[offset:]
+	if limit > 0 && limit < len(all) {
+		all = all[:limit]
+	}
+	return all, total
+}

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"time"
 
+	"imc2/internal/imcerr"
 	"imc2/internal/model"
 )
 
@@ -73,14 +74,28 @@ func (c *Client) Healthy(ctx context.Context) bool {
 	return err == nil
 }
 
-// APIError is a non-2xx response from the platform.
+// APIError is a non-2xx response from the platform. Code carries the
+// machine-readable error class when the platform supplied one (see
+// internal/imcerr); match classes with errors.Is against the imcerr
+// sentinels.
 type APIError struct {
 	Status  int
+	Code    string
 	Message string
 }
 
 func (e *APIError) Error() string {
 	return fmt.Sprintf("wire: platform returned %d: %s", e.Status, e.Message)
+}
+
+// Is matches the imcerr bare-code sentinels, so callers can write
+// errors.Is(err, imcerr.ErrNotFound) against wire responses too.
+func (e *APIError) Is(target error) bool {
+	t, ok := target.(*imcerr.Error)
+	if !ok {
+		return false
+	}
+	return t.Message == "" && string(t.Code) == e.Code
 }
 
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
@@ -111,7 +126,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		if err := json.NewDecoder(resp.Body).Decode(&eb); err == nil && eb.Error != "" {
 			msg = eb.Error
 		}
-		return &APIError{Status: resp.StatusCode, Message: msg}
+		return &APIError{Status: resp.StatusCode, Code: eb.Code, Message: msg}
 	}
 	if out != nil {
 		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {

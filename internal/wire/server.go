@@ -3,24 +3,46 @@
 // runnable: cmd/platformd serves this API and cmd/workeragent drives the
 // client side.
 //
-// Endpoints:
+// The versioned /v2 protocol is the primary surface: one process hosts
+// many concurrent campaigns in a registry, each with an observable
+// lifecycle (draft → open → closing → settled, plus cancelled), and
+// closes settle asynchronously off the request path.
+//
+//	POST /v2/campaigns                   create (task list or generator spec)
+//	GET  /v2/campaigns                   list, paginated (?offset=&limit=)
+//	GET  /v2/campaigns/{id}              lifecycle snapshot
+//	POST /v2/campaigns/{id}/open         publicize a draft
+//	POST /v2/campaigns/{id}/cancel       abandon a draft/open campaign
+//	POST /v2/campaigns/{id}/submissions  sealed envelope (single or batch)
+//	POST /v2/campaigns/{id}/close        begin async settle (poll the snapshot)
+//	GET  /v2/campaigns/{id}/report       settled report
+//	GET  /v2/campaigns/{id}/audit        copier audit of a settled campaign
+//	GET  /v2/healthz                     liveness
+//
+// The original single-campaign /v1 endpoints remain as a compatibility
+// shim over a designated default campaign:
 //
 //	GET  /v1/tasks        → published task list
 //	POST /v1/submissions  → sealed bid + data envelope
 //	POST /v1/close        → close the auction, run both stages, settle
 //	GET  /v1/report       → settled report (409 until closed)
 //	GET  /v1/healthz      → liveness
+//
+// Every error response carries a machine-readable code from
+// internal/imcerr alongside the human-readable message; the code → HTTP
+// status mapping lives in exactly one place (statusOf).
 package wire
 
 import (
+	"context"
 	"encoding/json"
-	"errors"
-	"fmt"
 	"log"
 	"net/http"
 	"sync"
 
+	"imc2/internal/imcerr"
 	"imc2/internal/platform"
+	"imc2/internal/registry"
 )
 
 // Submission is the JSON envelope a worker posts.
@@ -45,96 +67,163 @@ type Report struct {
 
 type errorBody struct {
 	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
 }
 
-// Server serves one campaign. It is safe for concurrent use.
+// Server serves a campaign registry: the full /v2 protocol plus the /v1
+// single-campaign shim over a default campaign. It is safe for
+// concurrent use.
 type Server struct {
-	mu     sync.Mutex
-	p      *platform.Platform
-	cfg    platform.Config
-	report *Report
-	logf   func(format string, args ...any)
+	reg       *registry.Registry
+	cfg       platform.Config
+	defaultID string
+	logf      func(format string, args ...any)
+
+	// ctx bounds asynchronous settles; Shutdown cancels it and waits.
+	ctx     context.Context
+	cancel  context.CancelFunc
+	settles sync.WaitGroup
 }
 
-// NewServer wraps an open campaign. logf may be nil to silence logging.
+// NewServer wraps a single pre-built campaign — the /v1 world. The
+// campaign is adopted into a fresh registry as the default campaign, so
+// the /v2 protocol is available too. logf may be nil to silence logging.
 func NewServer(p *platform.Platform, cfg platform.Config, logf func(string, ...any)) *Server {
+	reg := registry.New()
+	c := reg.Adopt("default", p, cfg)
+	return NewRegistryServer(reg, c.ID(), cfg, logf)
+}
+
+// NewRegistryServer serves an existing registry. defaultID designates the
+// campaign behind the /v1 shim (empty: /v1 campaign endpoints answer 404).
+// cfg is the settle configuration applied to campaigns created over /v2.
+// logf may be nil to silence logging.
+func NewRegistryServer(reg *registry.Registry, defaultID string, cfg platform.Config, logf func(string, ...any)) *Server {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	return &Server{p: p, cfg: cfg, logf: logf}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{reg: reg, cfg: cfg, defaultID: defaultID, logf: logf, ctx: ctx, cancel: cancel}
 }
 
-// Handler returns the HTTP routing for the campaign API.
+// Registry exposes the campaign store the server serves.
+func (s *Server) Registry() *registry.Registry { return s.reg }
+
+// Shutdown aborts in-flight asynchronous settles and waits for them to
+// drain, bounded by ctx.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.cancel()
+	done := make(chan struct{})
+	go func() {
+		s.settles.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Handler returns the HTTP routing for both protocol versions.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+	healthz := func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	}
+
+	// v1: single-campaign shim over the default campaign.
 	mux.HandleFunc("GET /v1/tasks", s.handleTasks)
 	mux.HandleFunc("POST /v1/submissions", s.handleSubmit)
 	mux.HandleFunc("POST /v1/close", s.handleClose)
 	mux.HandleFunc("GET /v1/report", s.handleReport)
 	mux.HandleFunc("GET /v1/audit", s.handleAudit)
-	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	mux.HandleFunc("GET /v1/healthz", healthz)
+
+	// v2: the campaign registry.
+	mux.HandleFunc("POST /v2/campaigns", s.handleCreateCampaign)
+	mux.HandleFunc("GET /v2/campaigns", s.handleListCampaigns)
+	mux.HandleFunc("GET /v2/campaigns/{id}", s.handleGetCampaign)
+	mux.HandleFunc("POST /v2/campaigns/{id}/open", s.handleOpenCampaign)
+	mux.HandleFunc("POST /v2/campaigns/{id}/cancel", s.handleCancelCampaign)
+	mux.HandleFunc("POST /v2/campaigns/{id}/submissions", s.handleSubmissions)
+	mux.HandleFunc("POST /v2/campaigns/{id}/close", s.handleCloseCampaign)
+	mux.HandleFunc("GET /v2/campaigns/{id}/report", s.handleCampaignReport)
+	mux.HandleFunc("GET /v2/campaigns/{id}/audit", s.handleCampaignAudit)
+	mux.HandleFunc("GET /v2/healthz", healthz)
 	return mux
 }
 
+// defaultCampaign resolves the campaign behind the /v1 shim.
+func (s *Server) defaultCampaign() (*registry.Campaign, error) {
+	if s.defaultID == "" {
+		return nil, imcerr.New(imcerr.CodeNotFound, "wire: no default campaign configured (use /v2)")
+	}
+	return s.reg.Get(s.defaultID)
+}
+
 func (s *Server) handleTasks(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.p.Tasks())
+	c, err := s.defaultCampaign()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, c.Tasks())
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	c, err := s.defaultCampaign()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
 	var sub Submission
 	if err := json.NewDecoder(r.Body).Decode(&sub); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("malformed submission: %v", err)})
+		writeError(w, imcerr.Wrapf(imcerr.CodeInvalid, err, "malformed submission"))
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.report != nil {
-		writeJSON(w, http.StatusConflict, errorBody{Error: "auction already closed"})
+	if err := c.Submit(toPlatformSubmission(sub)); err != nil {
+		writeError(w, err)
 		return
 	}
-	err := s.p.Submit(platform.Submission{
-		Worker:  sub.Worker,
-		Price:   sub.Price,
-		Answers: sub.Answers,
-	})
-	switch {
-	case errors.Is(err, platform.ErrDuplicateSubmission):
-		writeJSON(w, http.StatusConflict, errorBody{Error: err.Error()})
-	case err != nil:
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
-	default:
-		s.logf("submission accepted: worker=%s tasks=%d", sub.Worker, len(sub.Answers))
-		writeJSON(w, http.StatusAccepted, map[string]string{"status": "accepted"})
-	}
+	s.logf("submission accepted: worker=%s tasks=%d", sub.Worker, len(sub.Answers))
+	writeJSON(w, http.StatusAccepted, map[string]string{"status": "accepted"})
 }
 
+// handleClose settles the default campaign synchronously — v1 semantics —
+// but without any server-wide lock: the settle runs off-lock inside the
+// campaign, so /v1/tasks, /v1/healthz, and every /v2 campaign stay
+// responsive while the two stages execute. The settle is bounded by the
+// server's lifetime, not the request's, so a client disconnect mid-settle
+// still leaves the report computed and cached (the original v1 contract).
 func (s *Server) handleClose(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.report != nil {
-		writeJSON(w, http.StatusOK, s.report)
-		return
-	}
-	rep, err := s.p.Run(s.cfg)
+	c, err := s.defaultCampaign()
 	if err != nil {
-		writeJSON(w, http.StatusUnprocessableEntity, errorBody{Error: err.Error()})
+		writeError(w, err)
 		return
 	}
-	s.report = toWireReport(rep)
+	rep, err := c.Settle(s.ctx)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
 	s.logf("campaign settled: winners=%d social_cost=%.3f", len(rep.Winners), rep.SocialCost)
-	writeJSON(w, http.StatusOK, s.report)
+	writeJSON(w, http.StatusOK, toWireReport(rep))
 }
 
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.report == nil {
-		writeJSON(w, http.StatusConflict, errorBody{Error: "auction not closed yet"})
+	c, err := s.defaultCampaign()
+	if err != nil {
+		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, s.report)
+	rep, err := c.Report()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toWireReport(rep))
 }
 
 // SuspectPair mirrors platform.SuspectPair for the wire.
@@ -152,25 +241,21 @@ type AuditReport struct {
 }
 
 func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.report == nil {
-		writeJSON(w, http.StatusConflict, errorBody{Error: "auction not closed yet"})
+	c, err := s.defaultCampaign()
+	if err != nil {
+		writeError(w, err)
 		return
 	}
-	audit := s.p.LastAudit()
-	if audit == nil {
-		writeJSON(w, http.StatusNotFound,
-			errorBody{Error: "no dependence audit available (truth method has no dependence model)"})
+	audit, err := c.Audit()
+	if err != nil {
+		writeError(w, err)
 		return
 	}
-	out := AuditReport{CopierScores: audit.CopierScores}
-	for _, pr := range audit.Pairs {
-		out.Pairs = append(out.Pairs, SuspectPair{
-			WorkerA: pr.WorkerA, WorkerB: pr.WorkerB, AtoB: pr.AtoB, BtoA: pr.BtoA,
-		})
-	}
-	writeJSON(w, http.StatusOK, out)
+	writeJSON(w, http.StatusOK, toWireAudit(audit))
+}
+
+func toPlatformSubmission(sub Submission) platform.Submission {
+	return platform.Submission{Worker: sub.Worker, Price: sub.Price, Answers: sub.Answers}
 }
 
 func toWireReport(rep *platform.Report) *Report {
@@ -185,6 +270,40 @@ func toWireReport(rep *platform.Report) *Report {
 		TruthIterations: rep.TruthIterations,
 		Converged:       rep.Converged,
 	}
+}
+
+func toWireAudit(audit *platform.Audit) *AuditReport {
+	out := &AuditReport{CopierScores: audit.CopierScores}
+	for _, pr := range audit.Pairs {
+		out.Pairs = append(out.Pairs, SuspectPair{
+			WorkerA: pr.WorkerA, WorkerB: pr.WorkerB, AtoB: pr.AtoB, BtoA: pr.BtoA,
+		})
+	}
+	return out
+}
+
+// statusOf is the single place a machine-readable error code maps to an
+// HTTP status.
+func statusOf(code imcerr.Code) int {
+	switch code {
+	case imcerr.CodeInvalid:
+		return http.StatusBadRequest
+	case imcerr.CodeNotFound:
+		return http.StatusNotFound
+	case imcerr.CodeConflict:
+		return http.StatusConflict
+	case imcerr.CodeInfeasible, imcerr.CodeMonopolist:
+		return http.StatusUnprocessableEntity
+	case imcerr.CodeCancelled:
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	code := imcerr.CodeOf(err)
+	writeJSON(w, statusOf(code), errorBody{Error: err.Error(), Code: string(code)})
 }
 
 func writeJSON(w http.ResponseWriter, status int, body any) {

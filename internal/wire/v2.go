@@ -1,0 +1,295 @@
+package wire
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+
+	"imc2/internal/gen"
+	"imc2/internal/imcerr"
+	"imc2/internal/model"
+	"imc2/internal/platform"
+	"imc2/internal/randx"
+	"imc2/internal/registry"
+)
+
+// Task is the wire form of a published task.
+type Task = model.Task
+
+// CampaignInfo is a campaign's lifecycle snapshot: what pollers of an
+// asynchronous close observe.
+type CampaignInfo struct {
+	ID          string `json:"id"`
+	Name        string `json:"name,omitempty"`
+	State       string `json:"state"`
+	Tasks       int    `json:"tasks"`
+	Submissions int    `json:"submissions"`
+	// SettleError and SettleErrorCode carry the failure of the last
+	// settle attempt, if any (the campaign is back in state "open").
+	SettleError     string `json:"settle_error,omitempty"`
+	SettleErrorCode string `json:"settle_error_code,omitempty"`
+}
+
+// CreateCampaignRequest declares a new campaign: either an explicit task
+// list or a generator spec + seed (the synthetic-workload path platformd
+// uses). Exactly one of Tasks and Spec must be set.
+type CreateCampaignRequest struct {
+	Name  string            `json:"name,omitempty"`
+	Tasks []Task            `json:"tasks,omitempty"`
+	Spec  *gen.CampaignSpec `json:"spec,omitempty"`
+	Seed  int64             `json:"seed,omitempty"`
+	// Draft creates the campaign unpublicized; open it with
+	// POST /v2/campaigns/{id}/open.
+	Draft bool `json:"draft,omitempty"`
+}
+
+// CampaignPage is one page of the campaign listing.
+type CampaignPage struct {
+	Campaigns []CampaignInfo `json:"campaigns"`
+	Total     int            `json:"total"`
+	Offset    int            `json:"offset"`
+	Limit     int            `json:"limit"`
+}
+
+// submitRequest accepts both envelope shapes on the submissions
+// endpoint: a single submission object, or a batch under "submissions".
+type submitRequest struct {
+	Submission
+	Submissions []Submission `json:"submissions"`
+}
+
+// SubmitResult reports how many submissions an envelope registered.
+type SubmitResult struct {
+	Accepted int `json:"accepted"`
+}
+
+const (
+	defaultPageLimit = 50
+	maxPageLimit     = 500
+)
+
+func (s *Server) campaignInfo(c *registry.Campaign) CampaignInfo {
+	info := CampaignInfo{
+		ID:          c.ID(),
+		Name:        c.Name(),
+		State:       c.State().String(),
+		Tasks:       c.NumTasks(),
+		Submissions: c.Submissions(),
+	}
+	if err := c.SettleErr(); err != nil {
+		info.SettleError = err.Error()
+		info.SettleErrorCode = string(imcerr.CodeOf(err))
+	}
+	return info
+}
+
+// campaign resolves the {id} path parameter.
+func (s *Server) campaign(r *http.Request) (*registry.Campaign, error) {
+	return s.reg.Get(r.PathValue("id"))
+}
+
+func (s *Server) handleCreateCampaign(w http.ResponseWriter, r *http.Request) {
+	var req CreateCampaignRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, imcerr.Wrapf(imcerr.CodeInvalid, err, "malformed campaign request"))
+		return
+	}
+	var tasks []Task
+	switch {
+	case len(req.Tasks) > 0 && req.Spec != nil:
+		writeError(w, imcerr.New(imcerr.CodeInvalid, "campaign request sets both tasks and spec"))
+		return
+	case len(req.Tasks) > 0:
+		tasks = req.Tasks
+	case req.Spec != nil:
+		g, err := gen.NewCampaign(*req.Spec, randx.New(req.Seed))
+		if err != nil {
+			writeError(w, imcerr.Wrapf(imcerr.CodeInvalid, err, "generating campaign"))
+			return
+		}
+		tasks = g.Dataset.Tasks()
+	default:
+		writeError(w, imcerr.New(imcerr.CodeInvalid, "campaign request needs tasks or a spec"))
+		return
+	}
+	c, err := s.reg.Create(req.Name, tasks, s.cfg, req.Draft)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	s.logf("campaign created: id=%s name=%q tasks=%d state=%s", c.ID(), c.Name(), len(tasks), c.State())
+	writeJSON(w, http.StatusCreated, s.campaignInfo(c))
+}
+
+func (s *Server) handleListCampaigns(w http.ResponseWriter, r *http.Request) {
+	offset, err := queryInt(r, "offset", 0)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	limit, err := queryInt(r, "limit", defaultPageLimit)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if limit <= 0 || limit > maxPageLimit {
+		limit = maxPageLimit
+	}
+	cs, total := s.reg.List(offset, limit)
+	page := CampaignPage{Campaigns: make([]CampaignInfo, 0, len(cs)), Total: total, Offset: offset, Limit: limit}
+	for _, c := range cs {
+		page.Campaigns = append(page.Campaigns, s.campaignInfo(c))
+	}
+	writeJSON(w, http.StatusOK, page)
+}
+
+func (s *Server) handleGetCampaign(w http.ResponseWriter, r *http.Request) {
+	c, err := s.campaign(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.campaignInfo(c))
+}
+
+func (s *Server) handleOpenCampaign(w http.ResponseWriter, r *http.Request) {
+	c, err := s.campaign(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := c.Open(); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.campaignInfo(c))
+}
+
+func (s *Server) handleCancelCampaign(w http.ResponseWriter, r *http.Request) {
+	c, err := s.campaign(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := c.Cancel(); err != nil {
+		writeError(w, err)
+		return
+	}
+	s.logf("campaign cancelled: id=%s", c.ID())
+	writeJSON(w, http.StatusOK, s.campaignInfo(c))
+}
+
+func (s *Server) handleSubmissions(w http.ResponseWriter, r *http.Request) {
+	c, err := s.campaign(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	var req submitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, imcerr.Wrapf(imcerr.CodeInvalid, err, "malformed submission"))
+		return
+	}
+	subs := req.Submissions
+	if subs == nil {
+		subs = []Submission{req.Submission}
+	}
+	ps := make([]platform.Submission, 0, len(subs))
+	for _, sub := range subs {
+		ps = append(ps, toPlatformSubmission(sub))
+	}
+	n, err := c.SubmitBatch(ps)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	s.logf("submissions accepted: campaign=%s count=%d", c.ID(), n)
+	writeJSON(w, http.StatusAccepted, SubmitResult{Accepted: n})
+}
+
+// handleCloseCampaign begins an asynchronous settle: the campaign moves
+// to "closing" and the caller polls GET /v2/campaigns/{id} until it
+// reads "settled" (fetch the report) or "open" again with a settle_error.
+// The settle is bounded by the server's lifetime context, not the
+// request's, so it survives the client disconnecting and stops at
+// Shutdown.
+func (s *Server) handleCloseCampaign(w http.ResponseWriter, r *http.Request) {
+	c, err := s.campaign(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	switch st := c.State(); st {
+	case platform.StateSettled:
+		writeJSON(w, http.StatusOK, s.campaignInfo(c))
+		return
+	case platform.StateClosing:
+		writeJSON(w, http.StatusAccepted, s.campaignInfo(c))
+		return
+	case platform.StateDraft, platform.StateCancelled:
+		writeError(w, imcerr.New(imcerr.CodeConflict, "cannot close a %s campaign", st))
+		return
+	}
+	if c.Submissions() == 0 {
+		writeError(w, imcerr.New(imcerr.CodeInfeasible, "platform: no submissions"))
+		return
+	}
+	// Forget any previous attempt's failure before the 202 goes out, so
+	// a poller racing the settle goroutine cannot mistake it for this
+	// attempt's outcome.
+	c.ClearSettleErr()
+	s.settles.Add(1)
+	go func() {
+		defer s.settles.Done()
+		rep, err := c.Settle(s.ctx)
+		if err != nil {
+			s.logf("campaign %s settle failed: %v", c.ID(), err)
+			return
+		}
+		s.logf("campaign %s settled: winners=%d social_cost=%.3f", c.ID(), len(rep.Winners), rep.SocialCost)
+	}()
+	info := s.campaignInfo(c)
+	info.State = platform.StateClosing.String()
+	writeJSON(w, http.StatusAccepted, info)
+}
+
+func (s *Server) handleCampaignReport(w http.ResponseWriter, r *http.Request) {
+	c, err := s.campaign(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	rep, err := c.Report()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toWireReport(rep))
+}
+
+func (s *Server) handleCampaignAudit(w http.ResponseWriter, r *http.Request) {
+	c, err := s.campaign(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	audit, err := c.Audit()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toWireAudit(audit))
+}
+
+// queryInt parses an optional integer query parameter.
+func queryInt(r *http.Request, name string, def int) (int, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, imcerr.New(imcerr.CodeInvalid, "query parameter %q: %q is not an integer", name, v)
+	}
+	return n, nil
+}
