@@ -51,6 +51,7 @@ func run(args []string) error {
 		mechanism = fs.String("mechanism", "ra", "auction mechanism: ra, ga, or gb")
 		copyProb  = fs.Float64("r", 0.8, "DATE copy probability r")
 		alpha     = fs.Float64("alpha", 0.05, "DATE dependence prior α")
+		par       = fs.Int("parallelism", 0, "truth-discovery worker pool per settle (0 = GOMAXPROCS, 1 = serial; results are identical either way)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -66,6 +67,7 @@ func run(args []string) error {
 	cfg := platform.DefaultConfig()
 	cfg.TruthOptions.CopyProb = *copyProb
 	cfg.TruthOptions.PriorDependence = *alpha
+	cfg.TruthOptions.Parallelism = *par
 	mech, err := parseMechanism(*mechanism)
 	if err != nil {
 		return err

@@ -66,6 +66,12 @@ func TestRunRejectsBadOptions(t *testing.T) {
 	}
 }
 
+func TestRunRejectsBadParallelism(t *testing.T) {
+	if err := run([]string{"-parallelism", "-2", "-addr", "127.0.0.1:0"}); err == nil {
+		t.Fatal("negative parallelism accepted")
+	}
+}
+
 func TestRunRejectsBadCampaignCount(t *testing.T) {
 	if err := run([]string{"-campaigns", "0", "-addr", "127.0.0.1:0"}); err == nil {
 		t.Fatal("zero campaigns accepted")

@@ -31,9 +31,12 @@ func startTestPlatform(t *testing.T, seed int64, workers, tasks, copiers int) *h
 }
 
 func TestAgentSubmitAllAndClose(t *testing.T) {
-	srv := startTestPlatform(t, 5, 20, 24, 5)
+	// Seed 3 generates a campaign whose winners all stay replaceable, so
+	// the close settles (randx streams changed when Split became
+	// non-consuming; seed 5's draw now contains a monopolist).
+	srv := startTestPlatform(t, 3, 20, 24, 5)
 	args := []string{
-		"-platform", srv.URL, "-seed", "5",
+		"-platform", srv.URL, "-seed", "3",
 		"-workers", "20", "-tasks", "24", "-copiers", "5",
 	}
 

@@ -51,6 +51,14 @@
 //	report, err := c.Settle(ctx)        // ctx-bounded two-stage settle
 //	state := c.State()                   // imc2.CampaignSettled
 //
+// Settles are CPU-bound in stage 1; the truth-discovery engine spreads
+// each iteration over a bounded worker pool (TruthOptions.Parallelism,
+// 0 = GOMAXPROCS, 1 = serial; also imc2.WithTruthParallelism and
+// platformd's -parallelism). The partition is a pure function of the
+// dataset shape, so every parallelism degree produces bit-identical
+// results — see API.md's "Settle performance" and the committed
+// BenchmarkDiscoverSerial/BenchmarkDiscoverParallel comparison.
+//
 // Failures everywhere carry a machine-readable code (imc2.ErrorCodeOf;
 // sentinels imc2.ErrNotFound, imc2.ErrConflict, imc2.ErrInvalid,
 // imc2.ErrInfeasible, imc2.ErrMonopolist, imc2.ErrCancelled), which the

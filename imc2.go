@@ -294,6 +294,14 @@ func WithTruthOptions(opt TruthOptions) PlatformOption {
 	return func(cfg *PlatformConfig) { cfg.TruthOptions = opt }
 }
 
+// WithTruthParallelism bounds the worker pool the stage-1 engine spreads
+// each iteration over: 0 (the default) uses GOMAXPROCS, 1 forces a
+// serial run. Results are bit-identical for every setting; the knob
+// trades only settle latency. See doc.go's "Settle performance".
+func WithTruthParallelism(p int) PlatformOption {
+	return func(cfg *PlatformConfig) { cfg.TruthOptions.Parallelism = p }
+}
+
 // WithMechanism selects the stage-2 auction mechanism.
 func WithMechanism(m Mechanism) PlatformOption {
 	return func(cfg *PlatformConfig) { cfg.Mechanism = m }

@@ -1,6 +1,7 @@
 package auction
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -33,7 +34,12 @@ func GreedyAccuracy(in *Instance) (*Outcome, error) {
 	for _, i := range winners {
 		alt, err := selectByAccuracy(in, i)
 		if err != nil {
-			return nil, fmt.Errorf("%w (worker %d)", ErrMonopolist, i)
+			// Infeasibility without i means i is irreplaceable; any
+			// other failure keeps its own classification.
+			if errors.Is(err, ErrInfeasible) {
+				return nil, fmt.Errorf("%w (worker %d)", ErrMonopolist, i)
+			}
+			return nil, fmt.Errorf("selection without worker %d: %w", i, err)
 		}
 		payments[i] = in.Bids[i]
 		for _, k := range alt {

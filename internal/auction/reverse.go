@@ -1,6 +1,7 @@
 package auction
 
 import (
+	"errors"
 	"fmt"
 	"math"
 )
@@ -68,6 +69,11 @@ func selectWinners(in *Instance, skip int, observe func(selected int, cs *covera
 	return winners, nil
 }
 
+// winnerSelector is the selection phase criticalPayment reruns; it is a
+// parameter so tests can exercise the payment phase's error handling
+// without constructing a failing instance.
+type winnerSelector func(in *Instance, skip int, observe func(selected int, cs *coverageState)) ([]int, error)
+
 // criticalPayment computes worker i's payment (Algorithm 2 lines 10–19):
 // rerun the selection over W\{i} and take the maximum price at which i
 // would still have been chosen in place of some selected worker i_k:
@@ -78,8 +84,12 @@ func selectWinners(in *Instance, skip int, observe func(selected int, cs *covera
 // would place i behind the workers that already complete the coverage, so
 // p_i is i's critical value (Lemma 3).
 func criticalPayment(in *Instance, i int) (float64, error) {
+	return criticalPaymentVia(in, i, selectWinners)
+}
+
+func criticalPaymentVia(in *Instance, i int, sel winnerSelector) (float64, error) {
 	payment := 0.0
-	_, err := selectWinners(in, i, func(k int, cs *coverageState) {
+	_, err := sel(in, i, func(k int, cs *coverageState) {
 		covI := cs.coverage(i)
 		covK := cs.coverage(k)
 		if covI <= covered || covK <= covered {
@@ -90,7 +100,14 @@ func criticalPayment(in *Instance, i int) (float64, error) {
 		}
 	})
 	if err != nil {
-		return 0, fmt.Errorf("%w (worker %d)", ErrMonopolist, i)
+		// Only an infeasible rerun diagnoses a monopolist: the full set
+		// covered every task, so W\{i} failing to means i is
+		// irreplaceable. Any other failure keeps its own classification
+		// (and imcerr code) on the wire.
+		if errors.Is(err, ErrInfeasible) {
+			return 0, fmt.Errorf("%w (worker %d)", ErrMonopolist, i)
+		}
+		return 0, fmt.Errorf("selection without worker %d: %w", i, err)
 	}
 	return payment, nil
 }

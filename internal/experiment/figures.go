@@ -36,15 +36,30 @@ const (
 // truthMethods are the §VII truth-discovery contestants in paper order.
 var truthMethods = []truth.Method{truth.MethodDATE, truth.MethodMV, truth.MethodED, truth.MethodNC}
 
+// serialTruthOptions returns the truth defaults pinned to a serial
+// engine (Parallelism = 1). Every sweep already fans its repetitions out
+// across the cores (forEachRep), so a nested truth pool would only
+// oversubscribe them — and the fig5/fig7 wall-clock series must time the
+// algorithm itself, not however many workers the host happens to have.
+func serialTruthOptions() truth.Options {
+	opt := truth.DefaultOptions()
+	opt.Parallelism = 1
+	return opt
+}
+
 // calibratedTruthOptions mirrors the paper's procedure: §VII first sweeps
 // ε, α (Fig. 3(a)) and r (Fig. 3(b)), then fixes the best setting for the
 // remaining figures. The paper's dataset picked α = 0.2, r = 0.4; on our
 // generator — whose copiers copy 80% of their answers and whose worker
-// pairs often share only a handful of tasks — the grid peaks at
-// α = 0.05, r = 0.8 (DATE ≈ 0.92 vs MV ≈ 0.87 at the default scale;
-// see EXPERIMENTS.md for the calibration table).
+// pairs often share only a handful of tasks — the grid's high plateau is
+// α ∈ {0.05, 0.1} with r ∈ [0.4, 0.8], and α = 0.05, r = 0.8 sits
+// within noise of its maximum (DATE ≈ 0.92 vs MV ≈ 0.87 at the default
+// scale). Re-validated with the "cal" experiment (Reps: 8, Seed: 1)
+// after the randx stream derivation became order-independent — the
+// re-seeded draws moved individual cells but not the plateau or the
+// DATE-over-MV margin.
 func calibratedTruthOptions() truth.Options {
-	opt := truth.DefaultOptions()
+	opt := serialTruthOptions()
 	opt.CopyProb = 0.8
 	opt.PriorDependence = 0.05
 	return opt
@@ -95,7 +110,7 @@ func fig3a(cfg Config) (*Table, error) {
 				if err != nil {
 					return err
 				}
-				opt := truth.DefaultOptions()
+				opt := serialTruthOptions()
 				opt.CopyProb = 0.2
 				opt.InitAccuracy = eps
 				opt.PriorDependence = alpha
@@ -137,7 +152,7 @@ func fig3b(cfg Config) (*Table, error) {
 			if err != nil {
 				return err
 			}
-			opt := truth.DefaultOptions()
+			opt := serialTruthOptions()
 			opt.CopyProb = r
 			res, err := truth.Discover(c.Dataset, truth.MethodDATE, opt)
 			if err != nil {
@@ -735,7 +750,7 @@ func calibration(cfg Config) (*Table, error) {
 				if err != nil {
 					return err
 				}
-				opt := truth.DefaultOptions()
+				opt := serialTruthOptions()
 				opt.PriorDependence = alpha
 				opt.CopyProb = r
 				res, err := truth.Discover(c.Dataset, truth.MethodDATE, opt)

@@ -216,7 +216,14 @@ func (d *Dataset) TaskWorkers(j int) []int { return d.perTaskWorkers[j] }
 
 // ProvidersOf returns the worker indices of task j that submitted value v.
 func (d *Dataset) ProvidersOf(j int, v int32) []int {
-	var out []int
+	return d.ProvidersOfInto(j, v, nil)
+}
+
+// ProvidersOfInto is ProvidersOf appending into buf (reused from length
+// zero); hot loops pass reusable scratch to keep the per-group lookup
+// allocation-free.
+func (d *Dataset) ProvidersOfInto(j int, v int32, buf []int) []int {
+	out := buf[:0]
 	for _, i := range d.perTaskWorkers[j] {
 		if d.obs[i][j] == v {
 			out = append(out, i)

@@ -121,25 +121,34 @@ func ClampProbOpen(p, lo float64) float64 {
 }
 
 // NormalizeLogs exponentiates and normalizes a vector of log-weights into a
-// probability simplex in place, returning the resulting probabilities.
-// All -Inf inputs yield a uniform distribution (no information).
+// probability simplex, returning the resulting probabilities in a fresh
+// slice. All -Inf inputs yield a uniform distribution (no information).
 func NormalizeLogs(logs []float64) []float64 {
 	if len(logs) == 0 {
 		return nil
 	}
+	return NormalizeLogsInto(make([]float64, len(logs)), logs)
+}
+
+// NormalizeLogsInto is NormalizeLogs writing into dst (which must have the
+// same length as logs and may alias it); hot loops pass reusable scratch
+// to keep the per-task posterior allocation-free.
+func NormalizeLogsInto(dst, logs []float64) []float64 {
+	if len(dst) != len(logs) {
+		panic("numeric: NormalizeLogsInto length mismatch")
+	}
 	total := LogSumExp(logs)
-	out := make([]float64, len(logs))
 	if math.IsInf(total, -1) {
 		u := 1 / float64(len(logs))
-		for i := range out {
-			out[i] = u
+		for i := range dst {
+			dst[i] = u
 		}
-		return out
+		return dst
 	}
 	for i, l := range logs {
-		out[i] = math.Exp(l - total)
+		dst[i] = math.Exp(l - total)
 	}
-	return out
+	return dst
 }
 
 // AlmostEqual reports whether a and b differ by at most tol in absolute

@@ -15,25 +15,41 @@ import (
 // RNG is a deterministic random source. It wraps math/rand with explicit
 // seeding (no global state, per the style guides) and adds the derived
 // distributions the generators need.
+//
+// Every RNG carries a stream identity separate from the generator state:
+// Split and SplitIndex derive sub-streams by hashing that identity with a
+// label, never by drawing from the generator. Derivation is therefore a
+// pure function of the construction path — New(s).Split("a") names the
+// same stream no matter how much randomness the parent has consumed or
+// how many sibling streams were derived before it.
 type RNG struct {
 	r *rand.Rand
+	// stream is the derivation identity: splitmix(seed) at construction,
+	// re-derived on every Split. Only Split/SplitIndex read it.
+	stream uint64
 }
 
 // New returns an RNG seeded with seed.
 func New(seed int64) *RNG {
-	return &RNG{r: rand.New(rand.NewSource(seed))}
+	return &RNG{r: rand.New(rand.NewSource(seed)), stream: splitmix(uint64(seed))}
 }
 
 // Split derives an independent sub-stream for the given label. Identical
 // (seed, label) pairs always produce identical streams, which lets the
 // experiment harness give each repetition and each component its own
 // stable randomness.
+//
+// The derivation hashes the parent's stream identity with the label and
+// consumes no randomness from the parent: interleaving Split calls with
+// draws (or with other Splits) never changes the streams they return, and
+// splitting the same label twice names the same stream both times.
 func (g *RNG) Split(label string) *RNG {
-	return New(int64(splitmix(uint64(g.r.Int63()) ^ hash64(label))))
+	s := splitmix(g.stream ^ hash64(label))
+	return &RNG{r: rand.New(rand.NewSource(int64(s))), stream: s}
 }
 
-// SplitIndex derives an independent sub-stream for an integer index without
-// consuming randomness from the parent (beyond the first call's state).
+// SplitIndex derives an independent sub-stream for an integer index. Like
+// Split, it consumes no randomness from the parent.
 func (g *RNG) SplitIndex(i int) *RNG {
 	return g.Split(fmt.Sprintf("idx:%d", i))
 }

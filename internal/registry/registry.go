@@ -9,7 +9,6 @@ package registry
 
 import (
 	"hash/fnv"
-	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -28,6 +27,13 @@ const numShards = 16
 type Registry struct {
 	seq    atomic.Uint64
 	shards [numShards]shard
+
+	// ordered lists campaigns in creation (= ID) order. Campaigns are
+	// never removed, so pagination is a slice copy — List must not walk
+	// and sort the whole store per request (an unauthenticated client
+	// could make that a cheap CPU drain on a large registry).
+	mu      sync.RWMutex
+	ordered []*Campaign
 }
 
 type shard struct {
@@ -90,11 +96,20 @@ func (r *Registry) Adopt(name string, p *platform.Platform, cfg platform.Config)
 }
 
 func (r *Registry) adopt(name string, p *platform.Platform, cfg platform.Config) *Campaign {
+	// Mint the ID, insert, and append under r.mu so ordered stays in
+	// strict ID order even when adoptions race. The shard insert happens
+	// before the ordered append: a campaign must be Get-able from the
+	// moment List can return it, or a client could 404 on an ID the
+	// server just listed. (Lock order r.mu → shard.mu is safe: no path
+	// acquires r.mu while holding a shard lock.)
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	c := &Campaign{id: r.nextID(), name: name, p: p, cfg: cfg}
 	s := r.shardFor(c.id)
 	s.mu.Lock()
 	s.byID[c.id] = c
 	s.mu.Unlock()
+	r.ordered = append(r.ordered, c)
 	return c
 }
 
@@ -112,40 +127,28 @@ func (r *Registry) Get(id string) (*Campaign, error) {
 
 // Len counts registered campaigns.
 func (r *Registry) Len() int {
-	n := 0
-	for i := range r.shards {
-		s := &r.shards[i]
-		s.mu.RLock()
-		n += len(s.byID)
-		s.mu.RUnlock()
-	}
-	return n
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.ordered)
 }
 
 // List returns one page of campaigns in creation (= ID) order plus the
 // total count. Offset past the end yields an empty page; limit <= 0
-// means "the rest".
+// means "the rest". Cost is O(page), not O(registry): the creation-
+// ordered index makes pagination a bounded copy.
 func (r *Registry) List(offset, limit int) ([]*Campaign, int) {
-	var all []*Campaign
-	for i := range r.shards {
-		s := &r.shards[i]
-		s.mu.RLock()
-		for _, c := range s.byID {
-			all = append(all, c)
-		}
-		s.mu.RUnlock()
-	}
-	sort.Slice(all, func(i, j int) bool { return all[i].id < all[j].id })
-	total := len(all)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	total := len(r.ordered)
 	if offset < 0 {
 		offset = 0
 	}
 	if offset > total {
 		offset = total
 	}
-	all = all[offset:]
-	if limit > 0 && limit < len(all) {
-		all = all[:limit]
+	page := r.ordered[offset:]
+	if limit > 0 && limit < len(page) {
+		page = page[:limit]
 	}
-	return all, total
+	return append([]*Campaign(nil), page...), total
 }

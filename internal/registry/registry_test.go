@@ -233,6 +233,62 @@ func TestRetriedSettleClearsStaleError(t *testing.T) {
 
 // TestRegistryStress hammers one registry with concurrent creates,
 // submissions, settles, and reads across many campaigns. Run with -race.
+// TestListedCampaignsAlwaysGettable races creations against list+get:
+// any ID List returns must already resolve through Get (regression for
+// publishing to the ordered index before the lookup map).
+func TestListedCampaignsAlwaysGettable(t *testing.T) {
+	r := New()
+	done := make(chan struct{})
+
+	var checker sync.WaitGroup
+	checker.Add(1)
+	go func() {
+		defer checker.Done()
+		for {
+			cs, _ := r.List(0, 0)
+			for _, c := range cs {
+				if _, err := r.Get(c.ID()); err != nil {
+					t.Errorf("listed campaign %s not gettable: %v", c.ID(), err)
+					return
+				}
+			}
+			select {
+			case <-done:
+				return
+			default:
+			}
+		}
+	}()
+
+	var creators sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		creators.Add(1)
+		go func(g int) {
+			defer creators.Done()
+			for k := 0; k < 50; k++ {
+				if _, err := r.Create(fmt.Sprintf("c-%d-%d", g, k), testTasks(), platform.DefaultConfig(), false); err != nil {
+					t.Errorf("create: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	creators.Wait()
+	close(done)
+	checker.Wait()
+
+	// Final ordering invariant: IDs strictly ascending.
+	cs, total := r.List(0, 0)
+	if total != 200 || len(cs) != 200 {
+		t.Fatalf("List = %d campaigns (total %d), want 200", len(cs), total)
+	}
+	for i := 1; i < len(cs); i++ {
+		if cs[i-1].ID() >= cs[i].ID() {
+			t.Fatalf("ordered index out of order at %d: %s >= %s", i, cs[i-1].ID(), cs[i].ID())
+		}
+	}
+}
+
 func TestRegistryStress(t *testing.T) {
 	r := New()
 	const campaigns = 6

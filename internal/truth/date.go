@@ -48,6 +48,8 @@ type state struct {
 	fm  FalseValueModel
 
 	n, m int
+	// par is the resolved worker-pool size (opt.parallelism()).
+	par int
 
 	acc   [][]float64 // per-task accuracy A[i][j] = P_j(v_i^j)
 	accW  []float64   // per-worker accuracy A_i (eq. 17's average)
@@ -55,7 +57,22 @@ type state struct {
 	dep   [][]float64 // dep[i][k] = P(i→k | D)
 	truth []int32     // et[j]
 
-	depRatio [][]float64 // scratch for computeDependence
+	// depPartials holds computeDependence's n×n scratch matrices, lazily
+	// allocated once and reused every iteration: one per shard when the
+	// pool is parallel, or just {accumulator, partial} when serial (see
+	// parallel.go for why the shard layout fixes the result).
+	depPartials [][][]float64
+
+	// estScratch[slot] holds one pool worker's per-task posterior
+	// buffers, lazily allocated once and reused every iteration.
+	estScratch []*estScratch
+
+	// indScratch[slot] holds one pool worker's greedy-ordering buffers
+	// for computeIndependence, lazily allocated and reused likewise.
+	indScratch []*indScratch
+
+	// maxValues is max_j |V_j|, the scratch width estimate needs.
+	maxValues int
 
 	logPriorRatio float64 // log((1-α)/α)
 
@@ -76,6 +93,7 @@ func newState(ds *model.Dataset, opt Options, fm FalseValueModel) *state {
 		fm:  fm,
 		n:   n,
 		m:   m,
+		par: opt.parallelism(),
 
 		acc:   newZeroMatrix(n, m),
 		accW:  make([]float64, n),
@@ -86,6 +104,11 @@ func newState(ds *model.Dataset, opt Options, fm FalseValueModel) *state {
 
 		agreement:   make([]float64, m),
 		logMeanProb: make([]float64, m),
+	}
+	for j := 0; j < m; j++ {
+		if v := len(ds.Values(j)); v > s.maxValues {
+			s.maxValues = v
+		}
 	}
 	for i := 0; i < n; i++ {
 		s.accW[i] = opt.InitAccuracy

@@ -27,18 +27,6 @@ import (
 // Products run over hundreds of tasks, so all accumulation is in log
 // space (see package numeric).
 func (s *state) computeDependence() {
-	r := s.opt.CopyProb
-	logOneMinusR := math.Log1p(-r)
-
-	// logRatio[i][k] accumulates the i→k hypothesis.
-	logRatio := s.depScratch()
-	for i := range logRatio {
-		row := logRatio[i]
-		for k := range row {
-			row[k] = s.logPriorRatio
-		}
-	}
-
 	// The §IV-A completion: with SimilarityInDependence, values that are
 	// presentations of each other classify as the same value, and
 	// presentations of the estimated truth classify as true. Without it,
@@ -46,7 +34,100 @@ func (s *state) computeDependence() {
 	// the copier signature — between honest workers (ablation A2).
 	equiv := s.valueEquivalence()
 
-	for j := 0; j < s.m; j++ {
+	// Evidence accumulation: each task shard sums its pairwise terms into
+	// a partial matrix, and every cell's final log-ratio is the prior
+	// plus the shard partials added in shard-index order. The shard
+	// layout is a pure function of m (see parallel.go), so every
+	// parallelism degree performs the identical left-associated addition
+	// chain per cell — only the scratch strategy differs:
+	//
+	//   serial   one accumulator + one partial, folded shard by shard
+	//            (2 matrices total, however many shards there are);
+	//   parallel one partial per shard filled concurrently, reduced in
+	//            shard order at merge time.
+	shards := depShardCount(s.m)
+	if s.par <= 1 {
+		acc, partial := s.depSerialScratch()
+		for i := range acc {
+			row := acc[i]
+			for k := range row {
+				row[k] = s.logPriorRatio
+			}
+		}
+		for sh := 0; sh < shards; sh++ {
+			lo, hi := sh*s.m/shards, (sh+1)*s.m/shards
+			s.accumulateDependence(partial, lo, hi, equiv)
+			for i := range acc {
+				accRow, partRow := acc[i], partial[i]
+				for k := range accRow {
+					accRow[k] += partRow[k]
+				}
+			}
+		}
+		for i := 0; i < s.n; i++ {
+			row := s.dep[i]
+			for k := 0; k < s.n; k++ {
+				if i == k {
+					row[k] = 0
+					continue
+				}
+				row[k] = numeric.Sigmoid(-acc[i][k])
+			}
+		}
+	} else {
+		partials := s.depScratch(shards)
+		parallelDo(s.par, shards, func(sh int) {
+			lo, hi := sh*s.m/shards, (sh+1)*s.m/shards
+			s.accumulateDependence(partials[sh], lo, hi, equiv)
+		})
+
+		// Merge: prior + per-shard partials in fixed shard order, then
+		// the eq. 15 posterior. Row-parallel; every row is independent.
+		parallelDo(s.par, s.n, func(i int) {
+			row := s.dep[i]
+			for k := 0; k < s.n; k++ {
+				if i == k {
+					row[k] = 0
+					continue
+				}
+				logRatio := s.logPriorRatio
+				for sh := 0; sh < shards; sh++ {
+					logRatio += partials[sh][i][k]
+				}
+				row[k] = numeric.Sigmoid(-logRatio)
+			}
+		})
+	}
+
+	// Cache Σ_{k≠i} dep[i][k] + dep[k][i] for the ordering seed
+	// (Algorithm 1 line 16). Row-parallel over the finished posterior.
+	parallelDo(s.par, s.n, func(i int) {
+		var sum numeric.KahanSum
+		for k := 0; k < s.n; k++ {
+			if k == i {
+				continue
+			}
+			sum.Add(s.dep[i][k] + s.dep[k][i])
+		}
+		s.totalDep[i] = sum.Sum()
+	})
+}
+
+// accumulateDependence adds the evidence of tasks [lo, hi) into the given
+// n×n partial log-ratio matrix (zeroed here, so shards are reusable
+// across iterations). partial[i][k] accumulates the i→k hypothesis.
+func (s *state) accumulateDependence(partial [][]float64, lo, hi int, equiv *valueEquiv) {
+	r := s.opt.CopyProb
+	logOneMinusR := math.Log1p(-r)
+
+	for i := range partial {
+		row := partial[i]
+		for k := range row {
+			row[k] = 0
+		}
+	}
+
+	for j := lo; j < hi; j++ {
 		ws := s.ds.TaskWorkers(j)
 		if len(ws) < 2 {
 			continue
@@ -71,52 +152,42 @@ func (s *state) computeDependence() {
 				case !same:
 					// Different values: the Pd factors cancel, leaving
 					// ln(Pd) − ln(Pd·(1−r)) = −ln(1−r) for both directions.
-					logRatio[i][k] -= logOneMinusR
-					logRatio[k][i] -= logOneMinusR
+					partial[i][k] -= logOneMinusR
+					partial[k][i] -= logOneMinusR
 				case isTrue:
 					ps := ai * ak
 					logPs := math.Log(ps)
-					logRatio[i][k] += logPs - math.Log(ak*r+ps*(1-r))
-					logRatio[k][i] += logPs - math.Log(ai*r+ps*(1-r))
+					partial[i][k] += logPs - math.Log(ak*r+ps*(1-r))
+					partial[k][i] += logPs - math.Log(ai*r+ps*(1-r))
 				default:
 					pf := (1 - ai) * (1 - ak) * agree
 					logPf := math.Log(pf)
-					logRatio[i][k] += logPf - math.Log((1-ak)*r+pf*(1-r))
-					logRatio[k][i] += logPf - math.Log((1-ai)*r+pf*(1-r))
+					partial[i][k] += logPf - math.Log((1-ak)*r+pf*(1-r))
+					partial[k][i] += logPf - math.Log((1-ai)*r+pf*(1-r))
 				}
 			}
 		}
 	}
-
-	for i := 0; i < s.n; i++ {
-		for k := 0; k < s.n; k++ {
-			if i == k {
-				s.dep[i][k] = 0
-				continue
-			}
-			s.dep[i][k] = numeric.Sigmoid(-logRatio[i][k])
-		}
-	}
-
-	// Cache Σ_{k≠i} dep[i][k] + dep[k][i] for the ordering seed
-	// (Algorithm 1 line 16).
-	for i := 0; i < s.n; i++ {
-		var sum numeric.KahanSum
-		for k := 0; k < s.n; k++ {
-			if k == i {
-				continue
-			}
-			sum.Add(s.dep[i][k] + s.dep[k][i])
-		}
-		s.totalDep[i] = sum.Sum()
-	}
 }
 
-// depScratch lazily allocates the n×n log-ratio scratch matrix, reusing it
-// across iterations.
-func (s *state) depScratch() [][]float64 {
-	if s.depRatio == nil {
-		s.depRatio = newZeroMatrix(s.n, s.n)
+// depScratch lazily allocates the parallel path's per-shard partial
+// matrices, reusing them across iterations.
+func (s *state) depScratch(shards int) [][][]float64 {
+	if s.depPartials == nil {
+		s.depPartials = make([][][]float64, shards)
+		for sh := range s.depPartials {
+			s.depPartials[sh] = newZeroMatrix(s.n, s.n)
+		}
 	}
-	return s.depRatio
+	return s.depPartials
+}
+
+// depSerialScratch lazily allocates the serial path's two matrices —
+// the prior-seeded accumulator and the single reusable shard partial —
+// reusing them across iterations.
+func (s *state) depSerialScratch() (acc, partial [][]float64) {
+	if s.depPartials == nil {
+		s.depPartials = [][][]float64{newZeroMatrix(s.n, s.n), newZeroMatrix(s.n, s.n)}
+	}
+	return s.depPartials[0], s.depPartials[1]
 }

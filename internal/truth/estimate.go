@@ -27,73 +27,115 @@ import (
 //     discount inside eq. 20 a copied majority could never be overturned,
 //     because P_j(v) would keep amplifying the copiers regardless of I.
 func (s *state) estimate() {
-	for j := 0; j < s.m; j++ {
-		values := s.ds.Values(j)
-		if len(values) == 0 {
-			s.truth[j] = model.NotAnswered
-			continue
-		}
-		providers := s.ds.TaskWorkers(j)
-
-		// Independence-discounted log-vote per value: each provider of v
-		// contributes I · (ln(A/(1−A)) − E[ln p_false]). Under the uniform
-		// false model −E[ln p_false] = ln(num), recovering eq. 20's
-		// num·A/(1−A) weights.
-		logScore := make([]float64, len(values))
-		for _, i := range providers {
-			a := clampAcc(s.accW[i])
-			v := s.ds.ValueOf(i, j)
-			w := math.Log(a) - math.Log1p(-a) - s.logMeanProb[j]
-			logScore[v] += s.indep[i][j] * w
-		}
-		// Eq. 21 (§IV-A): values inherit ρ-weighted vote counts from
-		// similar values. The adjustment applies to the vote counts that
-		// feed eq. 20 — the formula's lineage (Dong et al., VLDB 2009,
-		// §5.2) and the only placement where it can change the winner:
-		// adjusting the post-softmax A·I support instead is inert because
-		// softmax amplification has already separated the majority.
-		if s.opt.Similarity != nil && s.opt.SimilarityWeight > 0 {
-			logScore = s.adjustBySimilarity(values, logScore)
-		}
-		probs := numeric.NormalizeLogs(logScore)
-
-		// Eq. 17 (per-task part): a worker's accuracy on the task is the
-		// truth probability of the value it provided.
-		for _, i := range providers {
-			s.acc[i][j] = probs[s.ds.ValueOf(i, j)]
-		}
-
-		// Line 28: support counts A·I select the truth.
-		support := make([]float64, len(values))
-		for _, i := range providers {
-			v := s.ds.ValueOf(i, j)
-			support[v] += s.acc[i][j] * s.indep[i][j]
-		}
-		s.truth[j] = argmaxValue(support)
-	}
+	// Task-parallel: each task writes only its own truth estimate and its
+	// own accuracy column, reading the previous iteration's accW, so no
+	// two tasks share state and no floating-point order depends on the
+	// schedule. Each pool slot owns reusable posterior scratch.
+	scratch := s.estScratchSlots()
+	parallelSlots(s.par, s.m, func(slot, j int) {
+		s.estimateTask(j, scratch[slot])
+	})
 
 	// Eq. 17 (per-worker part): fold the per-task probabilities into the
-	// global accuracy used by the next iteration.
-	for i := 0; i < s.n; i++ {
+	// global accuracy used by the next iteration. Worker-parallel.
+	parallelDo(s.par, s.n, func(i int) {
 		tasks := s.ds.WorkerTasks(i)
 		if len(tasks) == 0 {
-			continue
+			return
 		}
 		var sum numeric.KahanSum
 		for _, j := range tasks {
 			sum.Add(s.acc[i][j])
 		}
 		s.accW[i] = sum.Sum() / float64(len(tasks))
+	})
+}
+
+// estScratch is one pool slot's reusable per-task posterior buffers,
+// sized to the widest value domain.
+type estScratch struct {
+	logScore []float64
+	adjusted []float64
+	probs    []float64
+	support  []float64
+}
+
+// estScratchSlots lazily allocates one scratch set per pool slot,
+// reusing them across iterations.
+func (s *state) estScratchSlots() []*estScratch {
+	if s.estScratch == nil {
+		s.estScratch = make([]*estScratch, s.par)
+		for slot := range s.estScratch {
+			s.estScratch[slot] = &estScratch{
+				logScore: make([]float64, s.maxValues),
+				adjusted: make([]float64, s.maxValues),
+				probs:    make([]float64, s.maxValues),
+				support:  make([]float64, s.maxValues),
+			}
+		}
 	}
+	return s.estScratch
+}
+
+// estimateTask runs eq. 20/17/21 + line 28 for one task.
+func (s *state) estimateTask(j int, sc *estScratch) {
+	values := s.ds.Values(j)
+	if len(values) == 0 {
+		s.truth[j] = model.NotAnswered
+		return
+	}
+	providers := s.ds.TaskWorkers(j)
+
+	// Independence-discounted log-vote per value: each provider of v
+	// contributes I · (ln(A/(1−A)) − E[ln p_false]). Under the uniform
+	// false model −E[ln p_false] = ln(num), recovering eq. 20's
+	// num·A/(1−A) weights.
+	logScore := sc.logScore[:len(values)]
+	for v := range logScore {
+		logScore[v] = 0
+	}
+	for _, i := range providers {
+		a := clampAcc(s.accW[i])
+		v := s.ds.ValueOf(i, j)
+		w := math.Log(a) - math.Log1p(-a) - s.logMeanProb[j]
+		logScore[v] += s.indep[i][j] * w
+	}
+	// Eq. 21 (§IV-A): values inherit ρ-weighted vote counts from
+	// similar values. The adjustment applies to the vote counts that
+	// feed eq. 20 — the formula's lineage (Dong et al., VLDB 2009,
+	// §5.2) and the only placement where it can change the winner:
+	// adjusting the post-softmax A·I support instead is inert because
+	// softmax amplification has already separated the majority.
+	if s.opt.Similarity != nil && s.opt.SimilarityWeight > 0 {
+		logScore = s.adjustBySimilarity(values, logScore, sc.adjusted[:len(values)])
+	}
+	probs := numeric.NormalizeLogsInto(sc.probs[:len(values)], logScore)
+
+	// Eq. 17 (per-task part): a worker's accuracy on the task is the
+	// truth probability of the value it provided.
+	for _, i := range providers {
+		s.acc[i][j] = probs[s.ds.ValueOf(i, j)]
+	}
+
+	// Line 28: support counts A·I select the truth.
+	support := sc.support[:len(values)]
+	for v := range support {
+		support[v] = 0
+	}
+	for _, i := range providers {
+		v := s.ds.ValueOf(i, j)
+		support[v] += s.acc[i][j] * s.indep[i][j]
+	}
+	s.truth[j] = argmaxValue(support)
 }
 
 // adjustBySimilarity applies eq. 21 to the vote counts: each value
-// inherits ρ-weighted votes from similar values.
-func (s *state) adjustBySimilarity(values []string, votes []float64) []float64 {
+// inherits ρ-weighted votes from similar values. dst must not alias
+// votes; it is returned filled.
+func (s *state) adjustBySimilarity(values []string, votes, dst []float64) []float64 {
 	rho := s.opt.SimilarityWeight
-	adjusted := make([]float64, len(votes))
 	for v := range values {
-		adjusted[v] = votes[v]
+		dst[v] = votes[v]
 		for w := range values {
 			if w == v {
 				continue
@@ -102,10 +144,10 @@ func (s *state) adjustBySimilarity(values []string, votes []float64) []float64 {
 			if sim <= 0 {
 				continue
 			}
-			adjusted[v] += rho * sim * votes[w]
+			dst[v] += rho * sim * votes[w]
 		}
 	}
-	return adjusted
+	return dst
 }
 
 // argmaxValue returns the index of the largest support, breaking ties

@@ -25,10 +25,16 @@ import (
 // averaging I over all |W|! orderings for groups up to EDExactLimit and
 // over EDSamples deterministic random orderings for larger groups.
 func (s *state) computeIndependence(exact bool) {
-	for j := 0; j < s.m; j++ {
+	// Task-parallel: task j only writes its own independence column, and
+	// per-group results never mix across tasks, so the schedule cannot
+	// affect the output. Each pool slot owns the greedy pass's scratch.
+	scratch := s.indScratchSlots()
+	parallelSlots(s.par, s.m, func(slot, j int) {
+		sc := scratch[slot]
 		values := s.ds.Values(j)
 		for v := range values {
-			group := s.ds.ProvidersOf(j, int32(v))
+			sc.providers = s.ds.ProvidersOfInto(j, int32(v), sc.providers)
+			group := sc.providers
 			switch {
 			case len(group) == 0:
 				continue
@@ -37,16 +43,47 @@ func (s *state) computeIndependence(exact bool) {
 			case exact:
 				s.independenceByEnumeration(j, group)
 			default:
-				s.independenceGreedy(j, group)
+				s.independenceGreedy(j, group, sc)
 			}
 		}
+	})
+}
+
+// indScratch is one pool slot's reusable buffers for the greedy ordering:
+// the ordered prefix, the remaining providers, and — aligned with the
+// latter — each remaining provider's maximal dependence on the prefix.
+type indScratch struct {
+	providers []int
+	ordered   []int
+	remaining []int
+	bestDep   []float64
+}
+
+// indScratchSlots lazily allocates one scratch set per pool slot,
+// reusing them across iterations.
+func (s *state) indScratchSlots() []*indScratch {
+	if s.indScratch == nil {
+		s.indScratch = make([]*indScratch, s.par)
+		for slot := range s.indScratch {
+			s.indScratch[slot] = &indScratch{}
+		}
+	}
+	return s.indScratch
+}
+
+func (sc *indScratch) ensure(g int) {
+	if cap(sc.ordered) < g {
+		sc.ordered = make([]int, g)
+		sc.remaining = make([]int, g)
+		sc.bestDep = make([]float64, g)
 	}
 }
 
 // independenceGreedy implements lines 16–22 of Algorithm 1 for one
 // provider group.
-func (s *state) independenceGreedy(j int, group []int) {
+func (s *state) independenceGreedy(j int, group []int, sc *indScratch) {
 	r := s.opt.CopyProb
+	sc.ensure(len(group))
 
 	// Seed: the provider with minimal total dependence (most plausibly
 	// independent), ties to the lower worker index for determinism.
@@ -57,8 +94,9 @@ func (s *state) independenceGreedy(j int, group []int) {
 		}
 	}
 
-	ordered := make([]int, 0, len(group))
-	remaining := append([]int(nil), group...)
+	ordered := sc.ordered[:0]
+	remaining := sc.remaining[:len(group)]
+	copy(remaining, group)
 	remaining[seedPos], remaining[len(remaining)-1] = remaining[len(remaining)-1], remaining[seedPos]
 	seed := remaining[len(remaining)-1]
 	remaining = remaining[:len(remaining)-1]
@@ -66,25 +104,25 @@ func (s *state) independenceGreedy(j int, group []int) {
 	ordered = append(ordered, seed)
 	s.indep[seed][j] = 1
 
-	// bestDep[i] tracks max_{k∈ordered} dep[i][k] for each remaining i.
-	bestDep := make(map[int]float64, len(remaining))
-	for _, i := range remaining {
-		bestDep[i] = s.dep[i][seed]
+	// bestDep[p] tracks max_{k∈ordered} dep[remaining[p]][k], spliced in
+	// lockstep with remaining so the pair stays aligned.
+	bestDep := sc.bestDep[:len(remaining)]
+	for p, i := range remaining {
+		bestDep[p] = s.dep[i][seed]
 	}
 
 	for len(remaining) > 0 {
-		//
-
 		// Pick the remaining provider with maximal dependence on the
 		// ordered set.
 		bestPos := 0
 		for p := 1; p < len(remaining); p++ {
-			if bestDep[remaining[p]] > bestDep[remaining[bestPos]] {
+			if bestDep[p] > bestDep[bestPos] {
 				bestPos = p
 			}
 		}
 		next := remaining[bestPos]
 		remaining = append(remaining[:bestPos], remaining[bestPos+1:]...)
+		bestDep = append(bestDep[:bestPos], bestDep[bestPos+1:]...)
 
 		// I(next) = Π over already-ordered providers (eq. 16).
 		prod := 1.0
@@ -94,9 +132,9 @@ func (s *state) independenceGreedy(j int, group []int) {
 		s.indep[next][j] = prod
 		ordered = append(ordered, next)
 
-		for _, i := range remaining {
-			if d := s.dep[i][next]; d > bestDep[i] {
-				bestDep[i] = d
+		for p, i := range remaining {
+			if d := s.dep[i][next]; d > bestDep[p] {
+				bestDep[p] = d
 			}
 		}
 	}

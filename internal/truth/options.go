@@ -7,6 +7,7 @@ package truth
 import (
 	"fmt"
 	"math"
+	"runtime"
 )
 
 // Method selects a truth-discovery algorithm.
@@ -96,6 +97,15 @@ type Options struct {
 	// EDSamples is the number of sampled orderings for oversized groups
 	// in MethodED. Zero means the default of 720.
 	EDSamples int
+
+	// Parallelism bounds the worker pool the engine spreads each
+	// iteration's dependence, independence, and estimation passes over.
+	// Zero means GOMAXPROCS; 1 forces a serial run. Results are
+	// bit-identical for every setting — the work partition is a pure
+	// function of the dataset shape — so the knob trades only wall-clock
+	// time, never reproducibility. Timing experiments (Fig. 5/7) pin it
+	// to 1 so per-method wall-clock comparisons stay honest.
+	Parallelism int
 }
 
 // DefaultOptions returns the paper's default parameterization
@@ -144,6 +154,9 @@ func (o Options) Validate() error {
 	if o.EDSamples < 0 {
 		return fmt.Errorf("truth: EDSamples %d must be >= 0", o.EDSamples)
 	}
+	if o.Parallelism < 0 {
+		return fmt.Errorf("truth: Parallelism %d must be >= 0", o.Parallelism)
+	}
 	return nil
 }
 
@@ -159,6 +172,15 @@ func (o Options) edSamples() int {
 		return 720
 	}
 	return o.EDSamples
+}
+
+// parallelism resolves the effective pool size: Parallelism, or
+// GOMAXPROCS when unset.
+func (o Options) parallelism() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 func (o Options) similarityThreshold() float64 {

@@ -1,0 +1,88 @@
+package truth
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// The parallel engine partitions work so that the floating-point
+// operations — and therefore the results — are identical for every
+// parallelism degree:
+//
+//   - computeDependence accumulates each task shard's pairwise evidence
+//     into that shard's own partial log-ratio matrix and merges the
+//     partials in fixed shard order. The shard layout depends only on the
+//     task count, never on Options.Parallelism, so a serial run performs
+//     exactly the same additions in exactly the same association order as
+//     a fully parallel one.
+//   - estimate and computeIndependence parallelize over tasks (and the
+//     accuracy fold over workers); each unit writes state no other unit
+//     touches, with no cross-unit accumulation at all.
+//
+// Scheduling is dynamic (an atomic work counter) because task costs are
+// skewed — provider-group sizes vary — but which goroutine runs a unit
+// can never affect the output.
+
+// depShardSize is the number of tasks per dependence shard. Small
+// datasets collapse to a single shard, minimizing partial-matrix
+// scratch; fig5-scale campaigns (thousands of tasks) spread over enough
+// shards to occupy the pool. (Note the shard merge reassociated the
+// log-ratio additions versus the pre-parallel implementation, so
+// results can differ from historical output in the last bits — what is
+// guaranteed is identity across parallelism degrees.)
+const depShardSize = 256
+
+// maxDepShards bounds the number of n×n partial matrices held as scratch.
+const maxDepShards = 16
+
+// depShardCount returns the dependence shard count for m tasks — a pure
+// function of m so results never depend on the parallelism degree.
+func depShardCount(m int) int {
+	s := (m + depShardSize - 1) / depShardSize
+	if s < 1 {
+		s = 1
+	}
+	if s > maxDepShards {
+		s = maxDepShards
+	}
+	return s
+}
+
+// parallelDo runs fn(k) for every k in [0, n) across up to p goroutines.
+// p <= 1 runs inline. fn must only write state that no other k touches.
+func parallelDo(p, n int, fn func(k int)) {
+	parallelSlots(p, n, func(_, k int) { fn(k) })
+}
+
+// parallelSlots is parallelDo with a slot identifier: fn receives a slot
+// in [0, p) that is stable for the goroutine invoking it, so callers can
+// hand each goroutine its own scratch buffers.
+func parallelSlots(p, n int, fn func(slot, k int)) {
+	if p > n {
+		p = n
+	}
+	if p <= 1 {
+		for k := 0; k < n; k++ {
+			fn(0, k)
+		}
+		return
+	}
+	var (
+		next atomic.Int64
+		wg   sync.WaitGroup
+	)
+	wg.Add(p)
+	for g := 0; g < p; g++ {
+		go func(slot int) {
+			defer wg.Done()
+			for {
+				k := int(next.Add(1)) - 1
+				if k >= n {
+					return
+				}
+				fn(slot, k)
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -63,10 +63,30 @@ type SubmitResult struct {
 	Accepted int `json:"accepted"`
 }
 
+// Campaign-list pagination bounds. Registry.List treats limit <= 0 as
+// "the rest", so the handler must never forward an unclamped client
+// value: an unauthenticated ?limit=0 (or a huge limit) would force a
+// full-registry copy and serialization per request. (List itself is
+// O(page) — the registry keeps a creation-ordered index — so with the
+// clamp no request shape scales with registry size.)
 const (
 	defaultPageLimit = 50
 	maxPageLimit     = 500
 )
+
+// clampPageLimit maps a client-supplied page size onto [1, maxPageLimit]:
+// absent or non-positive values fall back to the default page size, and
+// oversized values saturate at the server-side maximum.
+func clampPageLimit(limit int) int {
+	switch {
+	case limit <= 0:
+		return defaultPageLimit
+	case limit > maxPageLimit:
+		return maxPageLimit
+	default:
+		return limit
+	}
+}
 
 func (s *Server) campaignInfo(c *registry.Campaign) CampaignInfo {
 	info := CampaignInfo{
@@ -132,9 +152,7 @@ func (s *Server) handleListCampaigns(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	if limit <= 0 || limit > maxPageLimit {
-		limit = maxPageLimit
-	}
+	limit = clampPageLimit(limit)
 	cs, total := s.reg.List(offset, limit)
 	page := CampaignPage{Campaigns: make([]CampaignInfo, 0, len(cs)), Total: total, Offset: offset, Limit: limit}
 	for _, c := range cs {

@@ -2,9 +2,11 @@ package wire
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
+	"net/http"
 	"net/http/httptest"
 	"sync"
 	"testing"
@@ -174,6 +176,76 @@ func TestV2ListPagination(t *testing.T) {
 	}
 	if page2.Campaigns[0].ID <= page.Campaigns[2].ID {
 		t.Fatal("listing not in creation order")
+	}
+}
+
+// TestV2ListPageLimitClamped covers the server-side page-size clamp:
+// limit=0 (and any negative limit) must fall back to the default page
+// size rather than "the rest of the registry", and oversized limits
+// saturate at the maximum — otherwise an unauthenticated request could
+// force a full-registry snapshot per call.
+func TestV2ListPageLimitClamped(t *testing.T) {
+	reg := registry.New()
+	w := testWorkload(t, 3)
+	for i := 0; i < defaultPageLimit+10; i++ {
+		if _, err := reg.Create(fmt.Sprintf("c%d", i), w.Dataset.Tasks(), platform.DefaultConfig(), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := NewRegistryServer(reg, "", platform.DefaultConfig(), nil)
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	client := NewClient(hs.URL)
+	ctx := context.Background()
+
+	fetch := func(rawQuery string) *CampaignPage {
+		t.Helper()
+		resp, err := http.Get(hs.URL + "/v2/campaigns" + rawQuery)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d", rawQuery, resp.StatusCode)
+		}
+		var page CampaignPage
+		if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+			t.Fatal(err)
+		}
+		return &page
+	}
+
+	total := defaultPageLimit + 10
+	for _, tc := range []struct {
+		query     string
+		wantLimit int
+		wantLen   int
+	}{
+		{"", defaultPageLimit, defaultPageLimit},
+		{"?limit=0", defaultPageLimit, defaultPageLimit},
+		{"?limit=-1", defaultPageLimit, defaultPageLimit},
+		{"?limit=100000", maxPageLimit, total},
+		{"?limit=5", 5, 5},
+	} {
+		page := fetch(tc.query)
+		if page.Limit != tc.wantLimit {
+			t.Errorf("GET %q: limit = %d, want %d", tc.query, page.Limit, tc.wantLimit)
+		}
+		if len(page.Campaigns) != tc.wantLen {
+			t.Errorf("GET %q: %d campaigns, want %d", tc.query, len(page.Campaigns), tc.wantLen)
+		}
+		if page.Total != total {
+			t.Errorf("GET %q: total = %d, want %d", tc.query, page.Total, total)
+		}
+	}
+
+	// The typed client's "server default" request shares the clamp.
+	page, err := client.Campaigns(ctx, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if page.Limit != defaultPageLimit || len(page.Campaigns) != defaultPageLimit {
+		t.Fatalf("client default page: limit=%d len=%d, want %d", page.Limit, len(page.Campaigns), defaultPageLimit)
 	}
 }
 
