@@ -7,7 +7,9 @@ package imc2_test
 // machinery release over release.
 
 import (
+	"context"
 	"fmt"
+	"sync"
 	"testing"
 
 	"imc2"
@@ -161,6 +163,86 @@ func benchDiscoverFig5(b *testing.B, parallelism int) {
 // per PR as a smoke test (-benchtime=1x).
 func BenchmarkDiscoverSerial(b *testing.B)   { benchDiscoverFig5(b, 1) }
 func BenchmarkDiscoverParallel(b *testing.B) { benchDiscoverFig5(b, 0) }
+
+// --- Concurrent settle benchmarks (registry-wide scheduler) ---------------
+
+// benchSettleConcurrent settles `settles` copies of the fig5-scale
+// campaign at once through one registry-wide scheduler (shared
+// GOMAXPROCS pool, platformd's default admission bound of 2). Together
+// with BenchmarkSettleConcurrent/settles=1 it measures the scheduler's
+// aggregate-throughput claim: N concurrent settles on the shared pool
+// versus one, rather than asserting it. Stage 2 is pinned to GreedyBid
+// so the number tracks the scheduled stage — truth discovery — not the
+// auction's critical-payment search.
+func benchSettleConcurrent(b *testing.B, settles int) {
+	c := benchFig5Campaign(b)
+	ds := c.Dataset
+	subs := make([]imc2.Submission, ds.NumWorkers())
+	for i := range subs {
+		answers := make(map[string]string, len(ds.WorkerTasks(i)))
+		for _, j := range ds.WorkerTasks(i) {
+			answers[ds.Task(j).ID] = ds.ValueString(j, ds.ValueOf(i, j))
+		}
+		subs[i] = imc2.Submission{Worker: ds.WorkerID(i), Price: c.Costs[i], Answers: answers}
+	}
+	cfg := imc2.NewPlatformConfig(imc2.WithMechanism(imc2.MechanismGreedyBid))
+	cfg.TruthOptions.CopyProb = 0.8
+	cfg.TruthOptions.PriorDependence = 0.05
+	cfg.TruthOptions.MaxIterations = 3
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for it := 0; it < b.N; it++ {
+		b.StopTimer()
+		scheduler := imc2.NewSettleScheduler(imc2.SettleSchedulerConfig{MaxConcurrentSettles: 2})
+		reg := imc2.NewCampaignRegistry(imc2.WithSettleScheduler(scheduler))
+		camps := make([]*imc2.HostedCampaign, settles)
+		for k := range camps {
+			camp, err := reg.Create(fmt.Sprintf("bench-%d", k), ds.Tasks(), cfg, false)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := range subs {
+				if err := camp.Submit(subs[i]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			camps[k] = camp
+		}
+		b.StartTimer()
+
+		var wg sync.WaitGroup
+		errs := make([]error, settles)
+		for k, camp := range camps {
+			wg.Add(1)
+			go func(k int, camp *imc2.HostedCampaign) {
+				defer wg.Done()
+				_, errs[k] = camp.Settle(context.Background())
+			}(k, camp)
+		}
+		wg.Wait()
+
+		b.StopTimer()
+		for k, err := range errs {
+			if err != nil {
+				b.Fatalf("settle %d: %v", k, err)
+			}
+		}
+		scheduler.Close()
+		b.StartTimer()
+	}
+}
+
+// BenchmarkSettleConcurrent is CI's smoke proof that multi-campaign
+// settling stays healthy: 1, 4, and 8 simultaneous fig5-scale settles
+// through the shared scheduler.
+func BenchmarkSettleConcurrent(b *testing.B) {
+	for _, settles := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("settles=%d", settles), func(b *testing.B) {
+			benchSettleConcurrent(b, settles)
+		})
+	}
+}
 
 // BenchmarkCampaignGeneration tracks the workload generator itself at the
 // paper's default scale.

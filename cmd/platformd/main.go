@@ -9,9 +9,15 @@
 // operators can create further campaigns at runtime via POST
 // /v2/campaigns.
 //
+// Campaign settles are admission-controlled: a registry-wide scheduler
+// lets at most -max-settles campaigns run their two stages at once
+// (further closes queue FIFO, observable via settle_admission in the
+// campaign snapshot and GET /v2/scheduler), and all settles share one
+// -sched-workers truth-discovery pool instead of spawning a pool each.
+//
 // Usage:
 //
-//	platformd -addr :8080 -seed 42 -workers 40 -tasks 60 -campaigns 3
+//	platformd -addr :8080 -seed 42 -workers 40 -tasks 60 -campaigns 3 -max-settles 2
 package main
 
 import (
@@ -29,6 +35,7 @@ import (
 	"imc2/internal/platform"
 	"imc2/internal/randx"
 	"imc2/internal/registry"
+	"imc2/internal/sched"
 	"imc2/internal/wire"
 )
 
@@ -51,13 +58,22 @@ func run(args []string) error {
 		mechanism = fs.String("mechanism", "ra", "auction mechanism: ra, ga, or gb")
 		copyProb  = fs.Float64("r", 0.8, "DATE copy probability r")
 		alpha     = fs.Float64("alpha", 0.05, "DATE dependence prior α")
-		par       = fs.Int("parallelism", 0, "truth-discovery worker pool per settle (0 = GOMAXPROCS, 1 = serial; results are identical either way)")
+		par       = fs.Int("parallelism", 0, "truth-discovery slots requested per settle (0 = GOMAXPROCS, 1 = serial; results are identical either way)")
+
+		maxSettles   = fs.Int("max-settles", 2, "campaign settles allowed to run concurrently; further closes queue FIFO (0 = unlimited)")
+		schedWorkers = fs.Int("sched-workers", 0, "shared settle worker pool size across all campaigns (0 = GOMAXPROCS)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *campaigns < 1 {
 		return fmt.Errorf("-campaigns must be at least 1, got %d", *campaigns)
+	}
+	if *maxSettles < 0 {
+		return fmt.Errorf("-max-settles must be >= 0, got %d", *maxSettles)
+	}
+	if *schedWorkers < 0 {
+		return fmt.Errorf("-sched-workers must be >= 0, got %d", *schedWorkers)
 	}
 
 	spec, err := campaignSpec(*workers, *tasks, *copiers)
@@ -78,7 +94,12 @@ func run(args []string) error {
 	}
 
 	logger := log.New(os.Stderr, "platformd ", log.LstdFlags)
-	reg := registry.New()
+	// One settle scheduler for the whole registry: concurrent closes
+	// share a bounded pool and queue behind -max-settles instead of each
+	// spinning up GOMAXPROCS goroutines. Reports are unaffected.
+	scheduler := sched.New(sched.Config{Workers: *schedWorkers, MaxConcurrentSettles: *maxSettles})
+	defer scheduler.Close()
+	reg := registry.New(registry.WithScheduler(scheduler))
 	defaultID := ""
 	for k := 0; k < *campaigns; k++ {
 		c, err := gen.NewCampaign(spec, randx.New(*seed+int64(k)))
@@ -104,6 +125,8 @@ func run(args []string) error {
 	}
 	logger.Printf("listening on http://%s — %d campaigns under /v2/campaigns, /v1 bound to %s",
 		*addr, *campaigns, defaultID)
+	logger.Printf("settle scheduler: max %d concurrent settles (0 = unlimited), %d shared pool workers",
+		*maxSettles, scheduler.Pool().Workers())
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpServer.ListenAndServe() }()

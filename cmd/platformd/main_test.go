@@ -77,3 +77,12 @@ func TestRunRejectsBadCampaignCount(t *testing.T) {
 		t.Fatal("zero campaigns accepted")
 	}
 }
+
+func TestRunRejectsBadSchedulerFlags(t *testing.T) {
+	if err := run([]string{"-max-settles", "-1", "-addr", "127.0.0.1:0"}); err == nil {
+		t.Fatal("negative -max-settles accepted")
+	}
+	if err := run([]string{"-sched-workers", "-3", "-addr", "127.0.0.1:0"}); err == nil {
+		t.Fatal("negative -sched-workers accepted")
+	}
+}

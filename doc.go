@@ -59,6 +59,28 @@
 // results — see API.md's "Settle performance" and the committed
 // BenchmarkDiscoverSerial/BenchmarkDiscoverParallel comparison.
 //
+// A registry settling many campaigns at once should attach a settle
+// scheduler, which bounds the aggregate instead of each settle
+// separately: a FIFO admission semaphore lets at most
+// MaxConcurrentSettles campaigns run their stages concurrently (the
+// rest queue with observable positions — "settle_admission" in the /v2
+// snapshot, GET /v2/scheduler for totals), and all admitted settles
+// share one fixed worker pool with round-robin fairness, so N closes
+// cost one pool instead of N×GOMAXPROCS goroutines:
+//
+//	s := imc2.NewSettleScheduler(imc2.SettleSchedulerConfig{MaxConcurrentSettles: 2})
+//	defer s.Close()
+//	reg := imc2.NewCampaignRegistry(imc2.WithSettleScheduler(s))
+//
+// (or the shorthand imc2.WithMaxConcurrentSettles(2), after which the
+// registry's Close stops the internally-built scheduler; platformd
+// wires this via -max-settles and -sched-workers). Scheduling never
+// changes
+// outcomes: the work partition's shape-purity above means reports stay
+// bit-identical under any interleaving of campaigns on the shared pool,
+// which the multi-campaign stress test in internal/wire pins
+// bit-for-bit against serial baselines.
+//
 // Failures everywhere carry a machine-readable code (imc2.ErrorCodeOf;
 // sentinels imc2.ErrNotFound, imc2.ErrConflict, imc2.ErrInvalid,
 // imc2.ErrInfeasible, imc2.ErrMonopolist, imc2.ErrCancelled), which the

@@ -9,12 +9,24 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"imc2"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run executes the example end to end, writing its narrative to w. The
+// split from main keeps the program testable: the package smoke test
+// drives run(io.Discard) so `go test ./...` compiles and executes every
+// example.
+func run(w io.Writer) error {
 	spec := imc2.DefaultCampaignSpec()
 	spec.Workers = 50
 	spec.Tasks = 60
@@ -28,7 +40,7 @@ func main() {
 
 	campaign, err := imc2.NewCampaign(spec, imc2.NewRNG(7))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	ds := campaign.Dataset
 
@@ -39,9 +51,9 @@ func main() {
 	opt.PriorDependence = 0.05
 	res, err := imc2.DiscoverTruth(ds, imc2.MethodDATE, opt)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("stage 1 (DATE): precision %.4f over %d tasks\n\n",
+	fmt.Fprintf(w, "stage 1 (DATE): precision %.4f over %d tasks\n\n",
 		imc2.Precision(res.TruthMap(ds), campaign.GroundTruth), ds.NumTasks())
 
 	// Stage 2: the reverse auction over the estimated accuracies.
@@ -57,16 +69,16 @@ func main() {
 		{"GB (greedy bid)", imc2.RunGreedyBid},
 	}
 	var ra *imc2.AuctionOutcome
-	fmt.Println("stage 2: mechanism comparison")
+	fmt.Fprintln(w, "stage 2: mechanism comparison")
 	for _, m := range mechanisms {
 		out, err := m.run(in)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if ra == nil {
 			ra = out
 		}
-		fmt.Printf("  %-22s winners=%2d  social cost=%7.3f  total payment=%8.3f\n",
+		fmt.Fprintf(w, "  %-22s winners=%2d  social cost=%7.3f  total payment=%8.3f\n",
 			m.name, len(out.Winners), out.SocialCost, out.TotalPayment)
 	}
 
@@ -74,9 +86,9 @@ func main() {
 	// the truthful bid and collapses to zero past its critical value.
 	target := ra.Winners[0]
 	trueCost := in.Bids[target]
-	fmt.Printf("\ntruthfulness check for winner %s (true cost %.3f):\n",
+	fmt.Fprintf(w, "\ntruthfulness check for winner %s (true cost %.3f):\n",
 		ds.WorkerID(target), trueCost)
-	fmt.Printf("%10s %10s %8s\n", "bid", "utility", "wins?")
+	fmt.Fprintf(w, "%10s %10s %8s\n", "bid", "utility", "wins?")
 	for _, factor := range []float64{0.25, 0.5, 1, 1.5, 2, 3, 5} {
 		bid := trueCost * factor
 		dev := &imc2.AuctionInstance{
@@ -88,9 +100,10 @@ func main() {
 		dev.Bids[target] = bid
 		out, err := imc2.RunReverseAuction(dev)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("%10.3f %10.3f %8v\n", bid, out.Utility(target, trueCost), out.IsWinner(target))
+		fmt.Fprintf(w, "%10.3f %10.3f %8v\n", bid, out.Utility(target, trueCost), out.IsWinner(target))
 	}
-	fmt.Println("\nno deviation beats bidding the true cost — Theorem 3's truthfulness.")
+	fmt.Fprintln(w, "\nno deviation beats bidding the true cost — Theorem 3's truthfulness.")
+	return nil
 }

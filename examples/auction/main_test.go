@@ -1,0 +1,15 @@
+package main
+
+import (
+	"io"
+	"testing"
+)
+
+// TestRunSmoke compiles and executes the example end to end against
+// io.Discard — the programs under examples/ are part of the tested
+// surface, not just documentation. Kept fast enough for -short.
+func TestRunSmoke(t *testing.T) {
+	if err := run(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -10,13 +10,25 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"sort"
 
 	"imc2"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run executes the example end to end, writing its narrative to w. The
+// split from main keeps the program testable: the package smoke test
+// drives run(io.Discard) so `go test ./...` compiles and executes every
+// example.
+func run(w io.Writer) error {
 	spec := imc2.DefaultCampaignSpec()
 	spec.Workers = 60
 	spec.Tasks = 100
@@ -25,10 +37,10 @@ func main() {
 
 	campaign, err := imc2.NewCampaign(spec, imc2.NewRNG(2026))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	ds := campaign.Dataset
-	fmt.Printf("campaign: %d workers (%d copiers), %d tasks, %d observations\n\n",
+	fmt.Fprintf(w, "campaign: %d workers (%d copiers), %d tasks, %d observations\n\n",
 		ds.NumWorkers(), len(campaign.CopierIndex), ds.NumTasks(), ds.NumObservations())
 
 	opt := imc2.DefaultTruthOptions()
@@ -38,17 +50,17 @@ func main() {
 	opt.CopyProb = 0.8
 	opt.PriorDependence = 0.05
 
-	fmt.Println("truth-discovery precision:")
+	fmt.Fprintln(w, "truth-discovery precision:")
 	var date *imc2.TruthResult
 	for _, m := range []imc2.TruthMethod{imc2.MethodMV, imc2.MethodNC, imc2.MethodED, imc2.MethodDATE} {
 		res, err := imc2.DiscoverTruth(ds, m, opt)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if m == imc2.MethodDATE {
 			date = res
 		}
-		fmt.Printf("  %-5s %.4f  (%d iterations, converged=%v)\n",
+		fmt.Fprintf(w, "  %-5s %.4f  (%d iterations, converged=%v)\n",
 			m, imc2.Precision(res.TruthMap(ds), campaign.GroundTruth),
 			res.Iterations, res.Converged)
 	}
@@ -69,7 +81,7 @@ func main() {
 		return false
 	}
 
-	fmt.Println("\ntop-10 most dependent pairs (per DATE) vs generator's copy graph:")
+	fmt.Fprintln(w, "\ntop-10 most dependent pairs (per DATE) vs generator's copy graph:")
 	hits := 0
 	for _, pr := range date.RankDependentPairs()[:10] {
 		label := "unrelated"
@@ -77,10 +89,10 @@ func main() {
 			label = "real copier↔source"
 			hits++
 		}
-		fmt.Printf("  %s ↔ %s  dependence=%.2f  [%s]\n",
+		fmt.Fprintf(w, "  %s ↔ %s  dependence=%.2f  [%s]\n",
 			ds.WorkerID(pr.A), ds.WorkerID(pr.B), pr.Total(), label)
 	}
-	fmt.Printf("\n%d/10 of the top pairs are real copier relationships\n", hits)
+	fmt.Fprintf(w, "\n%d/10 of the top pairs are real copier relationships\n", hits)
 
 	// Per-worker copier scores: who should an auditor look at first?
 	scores := date.CopierScores()
@@ -99,7 +111,7 @@ func main() {
 			flagged++
 		}
 	}
-	fmt.Printf("of the %d highest copier scores, %d are real copiers\n",
+	fmt.Fprintf(w, "of the %d highest copier scores, %d are real copiers\n",
 		len(campaign.CopierIndex), flagged)
 
 	// Mean independence: copiers should be discounted.
@@ -115,6 +127,7 @@ func main() {
 			nh++
 		}
 	}
-	fmt.Printf("mean independence probability: honest %.3f vs copiers %.3f\n",
+	fmt.Fprintf(w, "mean independence probability: honest %.3f vs copiers %.3f\n",
 		honestI/float64(nh), copierI/float64(nc))
+	return nil
 }

@@ -11,9 +11,11 @@ package main
 import (
 	"context"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
+	"os"
 	"sort"
 	"time"
 
@@ -22,6 +24,16 @@ import (
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run executes the example end to end, writing its narrative to w. The
+// split from main keeps the program testable: the package smoke test
+// drives run(io.Discard) so `go test ./...` compiles and executes every
+// example.
+func run(w io.Writer) error {
 	spec := imc2.DefaultCampaignSpec()
 	spec.Workers = 30
 	spec.Tasks = 40
@@ -31,14 +43,14 @@ func main() {
 
 	campaign, err := imc2.NewCampaign(spec, imc2.NewRNG(11))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	ds := campaign.Dataset
 
 	// Platform side: publish the tasks over HTTP.
 	p, err := imc2.NewPlatform(ds.Tasks())
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	cfg := imc2.DefaultPlatformConfig()
 	cfg.TruthOptions.CopyProb = 0.8
@@ -47,7 +59,7 @@ func main() {
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 5 * time.Second}
 	go func() {
@@ -56,7 +68,7 @@ func main() {
 		}
 	}()
 	base := "http://" + ln.Addr().String()
-	fmt.Printf("platform listening at %s\n", base)
+	fmt.Fprintf(w, "platform listening at %s\n", base)
 
 	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
 	defer cancel()
@@ -65,9 +77,9 @@ func main() {
 	// Worker side: fetch tasks, then submit every worker's envelope.
 	tasks, err := client.Tasks(ctx)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("fetched %d published tasks\n", len(tasks))
+	fmt.Fprintf(w, "fetched %d published tasks\n", len(tasks))
 
 	for i := 0; i < ds.NumWorkers(); i++ {
 		answers := make(map[string]string)
@@ -80,33 +92,34 @@ func main() {
 			Answers: answers,
 		})
 		if err != nil {
-			log.Fatalf("worker %s: %v", ds.WorkerID(i), err)
+			return fmt.Errorf("worker %s: %w", ds.WorkerID(i), err)
 		}
 	}
-	fmt.Printf("%d sealed submissions accepted\n\n", ds.NumWorkers())
+	fmt.Fprintf(w, "%d sealed submissions accepted\n\n", ds.NumWorkers())
 
 	// Close the auction: both stages run on the platform.
 	report, err := client.Close(ctx)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("settled: %d truth-discovery iterations, converged=%v\n",
+	fmt.Fprintf(w, "settled: %d truth-discovery iterations, converged=%v\n",
 		report.TruthIterations, report.Converged)
-	fmt.Printf("precision vs (privately known) ground truth: %.4f\n",
+	fmt.Fprintf(w, "precision vs (privately known) ground truth: %.4f\n",
 		imc2.Precision(report.Truth, campaign.GroundTruth))
-	fmt.Printf("winners=%d  social cost=%.3f  total payment=%.3f\n",
+	fmt.Fprintf(w, "winners=%d  social cost=%.3f  total payment=%.3f\n",
 		len(report.Winners), report.SocialCost, report.TotalPayment)
 
 	winners := append([]string(nil), report.Winners...)
 	sort.Strings(winners)
-	fmt.Println("payments:")
-	for _, w := range winners {
-		fmt.Printf("  %s → %.3f\n", w, report.Payments[w])
+	fmt.Fprintln(w, "payments:")
+	for _, winner := range winners {
+		fmt.Fprintf(w, "  %s → %.3f\n", winner, report.Payments[winner])
 	}
 
 	shutdownCtx, shutdownCancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer shutdownCancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-		log.Printf("shutdown: %v", err)
+		return fmt.Errorf("shutdown: %w", err)
 	}
+	return nil
 }

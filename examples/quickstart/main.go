@@ -20,57 +20,75 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"sort"
 
 	"imc2"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run executes the example end to end, writing its narrative to w. The
+// split from main keeps the program testable: the package smoke test
+// drives run(io.Discard) so `go test ./...` compiles and executes every
+// example.
+func run(w io.Writer) error {
 	opt := imc2.DefaultTruthOptions()
 	opt.CopyProb = 0.8 // the Table-1 copiers copy nearly everything
 
 	// ---- Act 1: Table 1 as printed in the paper -------------------------
 	ds, groundTruth, err := imc2.Table1()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Println("Act 1 — Table 1: voting elects the copied mistakes")
-	fmt.Println()
-	date := compare(ds, groundTruth, opt)
+	fmt.Fprintln(w, "Act 1 — Table 1: voting elects the copied mistakes")
+	fmt.Fprintln(w)
+	date, err := compare(w, ds, groundTruth, opt)
+	if err != nil {
+		return err
+	}
 
-	fmt.Println("\nDATE already sees who depends on whom, P(i→k | D):")
+	fmt.Fprintln(w, "\nDATE already sees who depends on whom, P(i→k | D):")
 	for i := 0; i < ds.NumWorkers(); i++ {
 		for k := 0; k < ds.NumWorkers(); k++ {
 			if i != k && date.Dependence[i][k] > 0.3 {
-				fmt.Printf("  P(%s→%s) = %.2f\n", ds.WorkerID(i), ds.WorkerID(k), date.Dependence[i][k])
+				fmt.Fprintf(w, "  P(%s→%s) = %.2f\n", ds.WorkerID(i), ds.WorkerID(k), date.Dependence[i][k])
 			}
 		}
 	}
-	fmt.Println("\n…but five tasks of evidence cannot yet overturn the copied majorities.")
+	fmt.Fprintln(w, "\n…but five tasks of evidence cannot yet overturn the copied majorities.")
 
 	// ---- Act 2: five more researchers ------------------------------------
 	ds2, groundTruth2, err := imc2.Table1Extended()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Println("\nAct 2 — five more researchers (two more copied mistakes):")
-	fmt.Println()
-	compare(ds2, groundTruth2, opt)
-	fmt.Println("\nwith enough shared mistakes, DATE discounts the copies and recovers")
-	fmt.Println("the truth everywhere except Carey, where a single honest witness")
-	fmt.Println("faces the whole copier bloc.")
+	fmt.Fprintln(w, "\nAct 2 — five more researchers (two more copied mistakes):")
+	fmt.Fprintln(w)
+	if _, err := compare(w, ds2, groundTruth2, opt); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\nwith enough shared mistakes, DATE discounts the copies and recovers")
+	fmt.Fprintln(w, "the truth everywhere except Carey, where a single honest witness")
+	fmt.Fprintln(w, "faces the whole copier bloc.")
+	return nil
 }
 
 // compare runs MV and DATE, prints the verdicts, and returns DATE's result.
-func compare(ds *imc2.Dataset, groundTruth map[string]string, opt imc2.TruthOptions) *imc2.TruthResult {
+func compare(w io.Writer, ds *imc2.Dataset, groundTruth map[string]string, opt imc2.TruthOptions) (*imc2.TruthResult, error) {
 	mv, err := imc2.DiscoverTruth(ds, imc2.MethodMV, imc2.DefaultTruthOptions())
 	if err != nil {
-		log.Fatal(err)
+		return nil, err
 	}
 	date, err := imc2.DiscoverTruth(ds, imc2.MethodDATE, opt)
 	if err != nil {
-		log.Fatal(err)
+		return nil, err
 	}
 	mvTruth := mv.TruthMap(ds)
 	dateTruth := date.TruthMap(ds)
@@ -81,16 +99,16 @@ func compare(ds *imc2.Dataset, groundTruth map[string]string, opt imc2.TruthOpti
 	}
 	sort.Strings(tasks)
 
-	fmt.Printf("%-14s %-11s %-13s %-13s\n", "task", "truth", "voting", "DATE")
+	fmt.Fprintf(w, "%-14s %-11s %-13s %-13s\n", "task", "truth", "voting", "DATE")
 	for _, task := range tasks {
-		fmt.Printf("%-14s %-11s %-13s %-13s\n",
+		fmt.Fprintf(w, "%-14s %-11s %-13s %-13s\n",
 			task, groundTruth[task],
 			mark(mvTruth[task], groundTruth[task]),
 			mark(dateTruth[task], groundTruth[task]))
 	}
-	fmt.Printf("\nvoting precision: %.2f   DATE precision: %.2f\n",
+	fmt.Fprintf(w, "\nvoting precision: %.2f   DATE precision: %.2f\n",
 		imc2.Precision(mvTruth, groundTruth), imc2.Precision(dateTruth, groundTruth))
-	return date
+	return date, nil
 }
 
 // mark annotates a value with ✓/✗ against the truth.

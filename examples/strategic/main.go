@@ -10,12 +10,24 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"imc2"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run executes the example end to end, writing its narrative to w. The
+// split from main keeps the program testable: the package smoke test
+// drives run(io.Discard) so `go test ./...` compiles and executes every
+// example.
+func run(w io.Writer) error {
 	// Build a pool of feasible campaigns.
 	spec := imc2.DefaultCampaignSpec()
 	spec.Workers = 30
@@ -38,7 +50,7 @@ func main() {
 		}
 		res, err := imc2.DiscoverTruth(c.Dataset, imc2.MethodDATE, opt)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		in := imc2.BuildAuctionInstance(c.Dataset, res.AccuracyMatrix(), c.Costs)
 		if _, err := imc2.RunReverseAuction(in); err != nil {
@@ -46,7 +58,7 @@ func main() {
 		}
 		instances = append(instances, in)
 	}
-	fmt.Printf("evaluating strategies across %d campaigns × %d workers each\n\n",
+	fmt.Fprintf(w, "evaluating strategies across %d campaigns × %d workers each\n\n",
 		len(instances), instances[0].NumWorkers())
 
 	strategies := []imc2.BiddingStrategy{
@@ -59,20 +71,21 @@ func main() {
 	}
 
 	rng := imc2.NewRNG(99)
-	fmt.Printf("%-14s %12s %10s %16s\n", "strategy", "mean utility", "win rate", "negative runs")
+	fmt.Fprintf(w, "%-14s %12s %10s %16s\n", "strategy", "mean utility", "win rate", "negative runs")
 	var truthful float64
 	for i, s := range strategies {
 		rep, err := imc2.SimulateStrategy(instances, s, rng.Split(s.Name()))
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if i == 0 {
 			truthful = rep.MeanUtility
 		}
-		fmt.Printf("%-14s %12.4f %10.2f %16d\n",
+		fmt.Fprintf(w, "%-14s %12.4f %10.2f %16d\n",
 			rep.Strategy, rep.MeanUtility, rep.WinRate, rep.NegativeRuns)
 	}
-	fmt.Printf("\ntruthful mean utility %.4f is never beaten — Myerson in action:\n", truthful)
-	fmt.Println("overbidders lose auctions they should win; shaders win but are")
-	fmt.Println("paid their (unchanged) critical value, which their lies put below cost.")
+	fmt.Fprintf(w, "\ntruthful mean utility %.4f is never beaten — Myerson in action:\n", truthful)
+	fmt.Fprintln(w, "overbidders lose auctions they should win; shaders win but are")
+	fmt.Fprintln(w, "paid their (unchanged) critical value, which their lies put below cost.")
+	return nil
 }

@@ -9,6 +9,7 @@ import (
 	"imc2/internal/platform"
 	"imc2/internal/randx"
 	"imc2/internal/registry"
+	"imc2/internal/sched"
 	"imc2/internal/simil"
 	"imc2/internal/stats"
 	"imc2/internal/strategy"
@@ -329,8 +330,60 @@ type CampaignRegistry = registry.Registry
 // registry identity, settle configuration, and last settle failure.
 type HostedCampaign = registry.Campaign
 
-// NewCampaignRegistry returns an empty campaign registry.
-func NewCampaignRegistry() *CampaignRegistry { return registry.New() }
+// RegistryOption configures a campaign registry built by
+// NewCampaignRegistry.
+type RegistryOption = registry.Option
+
+// NewCampaignRegistry returns an empty campaign registry. A registry
+// whose settle scheduler was built internally (WithMaxConcurrentSettles)
+// owns that scheduler's goroutines: call the registry's Close when done
+// with it to stop the shared worker pool. A scheduler attached with
+// WithSettleScheduler stays the caller's to Close.
+func NewCampaignRegistry(opts ...RegistryOption) *CampaignRegistry { return registry.New(opts...) }
+
+// ---- Settle scheduling (registry-wide admission + shared pool) ---------------
+
+// SettleScheduler bounds the aggregate settle work of a whole campaign
+// registry: a FIFO admission semaphore (at most MaxConcurrentSettles
+// campaigns run their stages at once; the rest queue with observable
+// positions) in front of one shared truth-discovery worker pool, so N
+// concurrent closes cost one pool instead of N. Reports are
+// bit-identical with and without a scheduler.
+type SettleScheduler = sched.Scheduler
+
+// SettleSchedulerConfig sizes a settle scheduler: Workers is the shared
+// pool size (0 = GOMAXPROCS) and MaxConcurrentSettles the admission
+// bound (0 = unlimited).
+type SettleSchedulerConfig = sched.Config
+
+// SettleSchedulerStats is a point-in-time snapshot of a scheduler's
+// admission counters.
+type SettleSchedulerStats = sched.Stats
+
+// NewSettleScheduler starts a settle scheduler (and its shared pool).
+// Close it when the registry shuts down.
+func NewSettleScheduler(cfg SettleSchedulerConfig) *SettleScheduler { return sched.New(cfg) }
+
+// WithSettleScheduler attaches a settle scheduler to the registry: every
+// campaign settle acquires an admission slot from it and runs its
+// truth-discovery passes on the shared pool. The caller keeps ownership
+// — one scheduler may serve several registries, so the registry's Close
+// leaves it running; Close the scheduler itself when done.
+func WithSettleScheduler(s *SettleScheduler) RegistryOption { return registry.WithScheduler(s) }
+
+// WithMaxConcurrentSettles is the one-line form of WithSettleScheduler:
+// it attaches a fresh scheduler with a GOMAXPROCS-sized shared pool and
+// the given admission bound (0 = unlimited, but still one shared pool).
+// The scheduler is built when the option is applied, so each registry
+// gets its own (an unused option value costs nothing, and reusing one
+// across registries never shares a pool). Its goroutines belong to the
+// registry — Close the registry (or reg.Scheduler().Close()) when done
+// with it.
+func WithMaxConcurrentSettles(n int) RegistryOption {
+	return func(r *CampaignRegistry) {
+		registry.WithOwnedScheduler(sched.New(sched.Config{MaxConcurrentSettles: n}))(r)
+	}
+}
 
 // ---- Workload generation -----------------------------------------------------
 

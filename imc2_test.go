@@ -4,6 +4,7 @@ package imc2_test
 // would touch, wired together exactly as the README shows.
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -243,5 +244,69 @@ func TestFacadeRegistryLifecycle(t *testing.T) {
 	}
 	if _, total := reg.List(0, 10); total != 1 {
 		t.Fatalf("total = %d", total)
+	}
+}
+
+func TestFacadeSettleScheduler(t *testing.T) {
+	// The shorthand: a registry with an internally-built scheduler whose
+	// pool the registry's Close must stop.
+	// The option builds its scheduler at apply time: reusing one option
+	// value must give each registry its own scheduler (closing one
+	// registry's pool cannot degrade another's).
+	opt := imc2.WithMaxConcurrentSettles(2)
+	reg := imc2.NewCampaignRegistry(opt)
+	defer reg.Close()
+	if reg.Scheduler() == nil {
+		t.Fatal("WithMaxConcurrentSettles attached no scheduler")
+	}
+	reg2 := imc2.NewCampaignRegistry(opt)
+	if reg2.Scheduler() == reg.Scheduler() {
+		t.Fatal("two registries built from one option share a scheduler")
+	}
+	reg2.Close()
+	spec := imc2.DefaultCampaignSpec()
+	spec.Workers, spec.Tasks, spec.Copiers, spec.TasksPerWorker = 20, 15, 5, 9
+	spec.RequirementLow, spec.RequirementHigh = 0.5, 1
+	spec.ParticipationDecay = 0.3
+	campaign, err := imc2.NewCampaign(spec, imc2.NewRNG(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosted, err := reg.Create("sched", campaign.Dataset.Tasks(), imc2.DefaultPlatformConfig(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := campaign.Dataset
+	for i := 0; i < ds.NumWorkers(); i++ {
+		answers := make(map[string]string)
+		for _, j := range ds.WorkerTasks(i) {
+			answers[ds.Task(j).ID] = ds.ValueString(j, ds.ValueOf(i, j))
+		}
+		if err := hosted.Submit(imc2.Submission{Worker: ds.WorkerID(i), Price: campaign.Costs[i], Answers: answers}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := hosted.Settle(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Winners) == 0 {
+		t.Fatal("scheduled settle produced no winners")
+	}
+	stats := reg.Scheduler().Stats()
+	if stats.MaxConcurrentSettles != 2 || stats.TotalCompleted != 1 {
+		t.Fatalf("scheduler stats = %+v", stats)
+	}
+	// Close is idempotent and leaves later (inline) settles working.
+	reg.Close()
+	reg.Close()
+}
+
+func TestFacadeExplicitSettleScheduler(t *testing.T) {
+	s := imc2.NewSettleScheduler(imc2.SettleSchedulerConfig{Workers: 2, MaxConcurrentSettles: 1})
+	defer s.Close()
+	reg := imc2.NewCampaignRegistry(imc2.WithSettleScheduler(s))
+	if reg.Scheduler() != s {
+		t.Fatal("explicit scheduler not attached")
 	}
 }

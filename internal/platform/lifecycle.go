@@ -153,9 +153,20 @@ func (p *Platform) Settle(ctx context.Context, cfg Config) (*Report, error) {
 	p.settling = make(chan struct{})
 	p.mu.Unlock()
 
-	// No lock held: submissions are frozen (Submit rejects while
-	// Closing), tasks are immutable after New.
-	rep, audit, err := p.runStages(ctx, cfg)
+	// Admission: with a scheduler configured, wait for a settle slot
+	// before running the stages. The campaign is already Closing, so
+	// submissions stay frozen and pollers observe "queued" via the
+	// scheduler while the settle waits its FIFO turn. An abandoned wait
+	// (ctx expiry) is a failed settle: the campaign reverts to Open
+	// below, exactly like a stage failure.
+	var rep *Report
+	var audit *Audit
+	release, err := p.admit(ctx, cfg)
+	if err == nil {
+		// No lock held: submissions are frozen (Submit rejects while
+		// Closing), tasks are immutable after New.
+		rep, audit, err = p.runAdmitted(ctx, cfg, release)
+	}
 
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -169,6 +180,30 @@ func (p *Platform) Settle(ctx context.Context, cfg Config) (*Report, error) {
 	p.report = rep
 	p.audit = audit
 	return rep, nil
+}
+
+// runAdmitted executes the stages while holding the admission slot. The
+// release is deferred so a panic inside a stage (possibly swallowed by
+// an embedder's recover) cannot strand the slot and starve every later
+// settle in the registry.
+func (p *Platform) runAdmitted(ctx context.Context, cfg Config, release func()) (*Report, *Audit, error) {
+	if release != nil {
+		defer release()
+	}
+	return p.runStages(ctx, cfg)
+}
+
+// admit acquires a settle slot from the configured admission scheduler,
+// or returns immediately when none is configured.
+func (p *Platform) admit(ctx context.Context, cfg Config) (release func(), err error) {
+	if cfg.Admission == nil {
+		return nil, nil
+	}
+	release, err = cfg.Admission.Acquire(ctx, cfg.SettleKey)
+	if err != nil {
+		return nil, imcerr.Wrapf(imcerr.CodeCancelled, err, "platform: settle admission abandoned")
+	}
+	return release, nil
 }
 
 // checkCtx classifies context expiry as a cancelled settle.

@@ -43,6 +43,15 @@ func (m Mechanism) String() string {
 	}
 }
 
+// Admission gates the expensive settle stages behind a shared scheduler
+// (see internal/sched.Scheduler, which satisfies it). Acquire blocks —
+// FIFO among waiters, bounded by ctx — until the settle identified by
+// key may run, and returns the release the settle must call when its
+// stages finish.
+type Admission interface {
+	Acquire(ctx context.Context, key string) (release func(), err error)
+}
+
 // Config assembles both stages of IMC2.
 type Config struct {
 	// TruthMethod selects the stage-1 algorithm (default DATE).
@@ -51,6 +60,17 @@ type Config struct {
 	TruthOptions truth.Options
 	// Mechanism selects the stage-2 auction (default ReverseAuction).
 	Mechanism Mechanism
+
+	// Admission, when non-nil, makes Settle acquire an admission slot
+	// (identified by SettleKey) after the campaign enters Closing and
+	// before the stages run, releasing it when they finish. This is how
+	// a registry bounds how many settles execute concurrently; while
+	// queued the campaign stays Closing (submissions frozen) and the
+	// scheduler reports its queue position. Nil settles immediately.
+	Admission Admission
+	// SettleKey identifies this campaign to the Admission scheduler
+	// (queue-position reporting and per-campaign fairness).
+	SettleKey string
 }
 
 // DefaultConfig returns the paper's configuration: DATE + ReverseAuction.

@@ -7,6 +7,7 @@ import (
 	"imc2/internal/imcerr"
 	"imc2/internal/model"
 	"imc2/internal/platform"
+	"imc2/internal/sched"
 )
 
 // Campaign is one registered campaign: a platform engine plus the
@@ -18,6 +19,9 @@ type Campaign struct {
 	name string
 	p    *platform.Platform
 	cfg  platform.Config
+	// sched is the registry-wide settle scheduler (nil: settle
+	// unscheduled with a per-settle pool).
+	sched *sched.Scheduler
 
 	mu        sync.Mutex
 	settleErr error
@@ -76,11 +80,36 @@ func (c *Campaign) SubmitBatch(subs []platform.Submission) (int, error) {
 // failure may have repaired the instance.
 func (c *Campaign) Settle(ctx context.Context) (*platform.Report, error) {
 	c.ClearSettleErr()
-	rep, err := c.p.Settle(ctx, c.cfg)
+	rep, err := c.p.Settle(ctx, c.settleConfig())
 	c.mu.Lock()
 	c.settleErr = err
 	c.mu.Unlock()
 	return rep, err
+}
+
+// settleConfig is the campaign's configuration with the registry-wide
+// scheduler injected: the settle must acquire an admission slot under
+// the campaign's ID and run its truth-discovery passes on the shared
+// pool. Without a scheduler it is the configuration as created.
+func (c *Campaign) settleConfig() platform.Config {
+	cfg := c.cfg
+	if c.sched != nil {
+		cfg.Admission = c.sched
+		cfg.SettleKey = c.id
+		cfg.TruthOptions.Executor = c.sched.Pool()
+	}
+	return cfg
+}
+
+// SettleAdmission reports the campaign's position in the registry-wide
+// settle scheduler: AdmissionQueued with a 1-based queue position while
+// waiting, AdmissionRunning while its stages execute, AdmissionNone
+// otherwise (including registries without a scheduler).
+func (c *Campaign) SettleAdmission() (sched.AdmissionState, int) {
+	if c.sched == nil {
+		return sched.AdmissionNone, 0
+	}
+	return c.sched.StateOf(c.id)
 }
 
 // ClearSettleErr forgets the last settle failure. Schedulers that begin

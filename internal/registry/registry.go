@@ -15,6 +15,7 @@ import (
 	"imc2/internal/imcerr"
 	"imc2/internal/model"
 	"imc2/internal/platform"
+	"imc2/internal/sched"
 )
 
 // numShards spreads campaigns over independent locks. A power of two
@@ -27,6 +28,14 @@ const numShards = 16
 type Registry struct {
 	seq    atomic.Uint64
 	shards [numShards]shard
+
+	// sched, when non-nil, is the registry-wide settle scheduler: every
+	// campaign settle acquires an admission slot from it and runs its
+	// truth-discovery passes on its shared pool. ownsSched records
+	// whether Close may stop it (true only when the scheduler was built
+	// for this registry, not injected and possibly shared).
+	sched     *sched.Scheduler
+	ownsSched bool
 
 	// ordered lists campaigns in creation (= ID) order. Campaigns are
 	// never removed, so pagination is a slice copy — List must not walk
@@ -41,13 +50,58 @@ type shard struct {
 	byID map[string]*Campaign
 }
 
+// Option configures a registry at construction.
+type Option func(*Registry)
+
+// WithScheduler attaches a registry-wide settle scheduler: campaign
+// settles acquire an admission slot from it (FIFO, bounded by its
+// MaxConcurrentSettles) and run their truth-discovery passes on its
+// shared worker pool instead of spawning a pool per settle. Reports are
+// bit-identical with and without a scheduler; only aggregate resource
+// use changes.
+// The caller keeps ownership: the registry's Close will not stop a
+// scheduler attached this way (it may be shared with other registries);
+// Close the scheduler itself when done. Use WithOwnedScheduler to hand
+// the registry a scheduler built just for it.
+func WithScheduler(s *sched.Scheduler) Option {
+	return func(r *Registry) { r.sched, r.ownsSched = s, false }
+}
+
+// WithOwnedScheduler attaches a scheduler the registry owns: the
+// registry's Close stops its shared pool. For schedulers built
+// per-registry (e.g. a facade shorthand), never for one shared across
+// registries.
+func WithOwnedScheduler(s *sched.Scheduler) Option {
+	return func(r *Registry) { r.sched, r.ownsSched = s, true }
+}
+
 // New returns an empty registry.
-func New() *Registry {
+func New(opts ...Option) *Registry {
 	r := &Registry{}
 	for i := range r.shards {
 		r.shards[i].byID = make(map[string]*Campaign)
 	}
+	for _, opt := range opts {
+		opt(r)
+	}
 	return r
+}
+
+// Scheduler returns the registry-wide settle scheduler, or nil when
+// campaigns settle unscheduled.
+func (r *Registry) Scheduler() *sched.Scheduler { return r.sched }
+
+// Close releases the registry's resources: it stops the shared worker
+// pool of a scheduler the registry owns (WithOwnedScheduler). It is a
+// no-op without a scheduler, on a second call, and for a
+// caller-provided WithScheduler scheduler — that one may serve other
+// registries, so its owner Closes it. Registries whose scheduler was
+// built internally must be Closed when done with, or the pool's
+// goroutines outlive them.
+func (r *Registry) Close() {
+	if r.ownsSched && r.sched != nil {
+		r.sched.Close()
+	}
 }
 
 func (r *Registry) shardFor(id string) *shard {
@@ -104,7 +158,7 @@ func (r *Registry) adopt(name string, p *platform.Platform, cfg platform.Config)
 	// acquires r.mu while holding a shard lock.)
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	c := &Campaign{id: r.nextID(), name: name, p: p, cfg: cfg}
+	c := &Campaign{id: r.nextID(), name: name, p: p, cfg: cfg, sched: r.sched}
 	s := r.shardFor(c.id)
 	s.mu.Lock()
 	s.byID[c.id] = c

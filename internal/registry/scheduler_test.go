@@ -1,0 +1,198 @@
+package registry
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"imc2/internal/platform"
+	"imc2/internal/sched"
+)
+
+// settleBaseline runs one workload through an unscheduled single
+// campaign and returns its report.
+func settleBaseline(t *testing.T, seed int64) *platform.Report {
+	t.Helper()
+	w := testWorkload(t, seed)
+	r := New()
+	c, err := r.Create("baseline", w.Dataset.Tasks(), platform.DefaultConfig(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < w.Dataset.NumWorkers(); i++ {
+		if err := c.Submit(submissionFor(w, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := c.Settle(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestScheduledSettleMatchesUnscheduled settles the same workloads with
+// and without a registry scheduler and requires bit-identical reports —
+// shared-pool interleaving must never change results.
+func TestScheduledSettleMatchesUnscheduled(t *testing.T) {
+	s := sched.New(sched.Config{Workers: 3, MaxConcurrentSettles: 2})
+	defer s.Close()
+	r := New(WithScheduler(s))
+	if r.Scheduler() != s {
+		t.Fatal("Scheduler() does not return the attached scheduler")
+	}
+
+	const campaigns = 5
+	type result struct {
+		rep *platform.Report
+		err error
+	}
+	results := make([]result, campaigns)
+	var wg sync.WaitGroup
+	for k := 0; k < campaigns; k++ {
+		w := testWorkload(t, int64(100+k))
+		c, err := r.Create(fmt.Sprintf("c%d", k), w.Dataset.Tasks(), platform.DefaultConfig(), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < w.Dataset.NumWorkers(); i++ {
+			if err := c.Submit(submissionFor(w, i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		wg.Add(1)
+		go func(k int, c *Campaign) {
+			defer wg.Done()
+			rep, err := c.Settle(context.Background())
+			results[k] = result{rep, err}
+		}(k, c)
+	}
+	wg.Wait()
+
+	for k := range results {
+		if results[k].err != nil {
+			t.Fatalf("campaign %d settle: %v", k, results[k].err)
+		}
+		want := settleBaseline(t, int64(100+k))
+		if !reflect.DeepEqual(want, results[k].rep) {
+			t.Errorf("campaign %d: scheduled report differs from unscheduled baseline", k)
+		}
+	}
+
+	st := s.Stats()
+	if st.PeakActiveSettles > 2 {
+		t.Fatalf("peak active settles = %d, admission bound is 2", st.PeakActiveSettles)
+	}
+	if st.TotalAdmitted != campaigns || st.TotalCompleted != campaigns {
+		t.Fatalf("admitted/completed = %d/%d, want %d/%d",
+			st.TotalAdmitted, st.TotalCompleted, campaigns, campaigns)
+	}
+}
+
+// TestSettleAdmissionSurfaced checks the campaign-level admission view:
+// none before, running while the stages hold the slot, none after.
+func TestSettleAdmissionSurfaced(t *testing.T) {
+	s := sched.New(sched.Config{Workers: 1, MaxConcurrentSettles: 1})
+	defer s.Close()
+	r := New(WithScheduler(s))
+	w := testWorkload(t, 7)
+	c, err := r.Create("adm", w.Dataset.Tasks(), platform.DefaultConfig(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < w.Dataset.NumWorkers(); i++ {
+		if err := c.Submit(submissionFor(w, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st, _ := c.SettleAdmission(); st != sched.AdmissionNone {
+		t.Fatalf("admission before settle = %v, want none", st)
+	}
+	// Hold the only slot so the campaign's settle queues observably.
+	release, err := s.Acquire(context.Background(), "blocker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Settle(context.Background())
+		done <- err
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, pos := c.SettleAdmission()
+		if st == sched.AdmissionQueued {
+			if pos != 1 {
+				t.Errorf("queue position = %d, want 1", pos)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("settle never queued (admission = %v) despite the blocked slot", st)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	if c.State() != platform.StateClosing {
+		t.Errorf("queued campaign state = %v, want closing (submissions frozen)", c.State())
+	}
+	release()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := c.SettleAdmission(); st != sched.AdmissionNone {
+		t.Fatalf("admission after settle = %v, want none", st)
+	}
+}
+
+// TestQueuedSettleCtxCancelRevertsToOpen: abandoning a queued settle
+// must return the campaign to Open so it can be re-closed later.
+func TestQueuedSettleCtxCancelRevertsToOpen(t *testing.T) {
+	s := sched.New(sched.Config{Workers: 1, MaxConcurrentSettles: 1})
+	defer s.Close()
+	r := New(WithScheduler(s))
+	w := testWorkload(t, 21)
+	c, err := r.Create("cancelq", w.Dataset.Tasks(), platform.DefaultConfig(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < w.Dataset.NumWorkers(); i++ {
+		if err := c.Submit(submissionFor(w, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	release, err := s.Acquire(context.Background(), "blocker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Settle(ctx)
+		done <- err
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if st, _ := c.SettleAdmission(); st == sched.AdmissionQueued {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("settle never queued despite the blocked slot")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	cancel()
+	if err := <-done; err == nil {
+		t.Fatal("abandoned queued settle reported success")
+	}
+	if c.State() != platform.StateOpen {
+		t.Fatalf("state after abandoned queue wait = %v, want open", c.State())
+	}
+	release()
+	// The campaign settles fine on retry.
+	if _, err := c.Settle(context.Background()); err != nil {
+		t.Fatalf("re-settle after abandoned wait: %v", err)
+	}
+}

@@ -1,0 +1,253 @@
+// Package sched bounds the aggregate truth-discovery work of a whole
+// campaign registry. Before it existed every settle spun up its own
+// worker pool (internal/truth), so N concurrent campaign closes meant
+// N×GOMAXPROCS runnable goroutines and N sets of scratch — the
+// multi-campaign blow-up flagged in ROADMAP's open items. The package
+// owns two cooperating pieces:
+//
+//   - Pool, one fixed set of worker goroutines that every settle's
+//     data-parallel passes are submitted to (it satisfies the engine's
+//     truth.Executor seam), with round-robin dispatch across concurrent
+//     runs so one giant settle cannot starve the rest; and
+//   - Scheduler, a FIFO admission semaphore that bounds how many settles
+//     may run their stages at once, with ctx-aware queueing and
+//     observable per-campaign admission state (queue position).
+//
+// Determinism is unaffected by the sharing: the truth engine's work
+// partition is a pure function of the dataset shape (see
+// internal/truth/parallel.go), so results stay bit-identical no matter
+// how pool workers interleave campaigns.
+package sched
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool is a bounded set of worker goroutines shared by every run
+// submitted to it. The zero value is not usable; construct with NewPool.
+//
+// Each Execute call forms a "run". The submitting goroutine always works
+// its own run (so a run progresses even when every pool worker is busy
+// elsewhere), and idle pool workers join runs as helpers, chosen
+// round-robin with a per-run helper cap of workers/activeRuns — the
+// fairness rule that keeps one enormous settle from monopolizing the
+// pool while smaller settles wait.
+type Pool struct {
+	workers int
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	runs   []*run // active runs, dispatch ring
+	rr     int    // round-robin cursor into runs
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// run is one Execute call in flight.
+type run struct {
+	fn        func(slot, k int)
+	n         int
+	next      int   // next undispatched unit
+	inFlight  int   // units currently executing
+	freeSlots []int // helper slot ids (slot 0 belongs to the caller)
+	helpers   int   // pool workers currently on this run
+	done      chan struct{}
+}
+
+// NewPool starts a pool of the given size. workers <= 0 means GOMAXPROCS.
+// Callers that are done with the pool should Close it to stop the
+// goroutines; Execute calls after Close degrade to inline serial runs.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{workers: workers}
+	p.cond = sync.NewCond(&p.mu)
+	p.wg.Add(workers)
+	for g := 0; g < workers; g++ {
+		go p.worker()
+	}
+	return p
+}
+
+// Workers reports the fixed pool size.
+func (p *Pool) Workers() int { return p.workers }
+
+// Close stops the pool's workers after they finish the units they are
+// executing and blocks until all have exited. Runs already submitted
+// complete (their callers keep working them); later Execute calls run
+// inline on the caller.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// Execute runs fn(slot, k) for every k in [0, n), using at most `slots`
+// concurrent invocations. Each invocation's slot is in [0, slots) and
+// exclusive to one goroutine at a time, so callers can key per-goroutine
+// scratch by slot. fn must only write state no other k touches. The call
+// returns when every unit has finished.
+//
+// Execute satisfies the truth engine's Executor interface; a nil *Pool
+// is valid and runs serially inline.
+func (p *Pool) Execute(slots, n int, fn func(slot, k int)) {
+	if n <= 0 {
+		return
+	}
+	if slots > n {
+		slots = n
+	}
+	if p == nil || slots <= 1 {
+		executeInline(n, fn)
+		return
+	}
+	r := &run{fn: fn, n: n, done: make(chan struct{})}
+	// Helper slots count down so lower slot ids are leased first.
+	for s := slots - 1; s >= 1; s-- {
+		r.freeSlots = append(r.freeSlots, s)
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		executeInline(n, fn)
+		return
+	}
+	p.runs = append(p.runs, r)
+	p.cond.Broadcast()
+	p.mu.Unlock()
+
+	// The caller is slot 0 and works its own run to completion: progress
+	// never depends on a pool worker being free.
+	p.work(r, 0, false)
+	<-r.done
+}
+
+func executeInline(n int, fn func(slot, k int)) {
+	for k := 0; k < n; k++ {
+		fn(0, k)
+	}
+}
+
+// helperCapLocked is the fairness rule: pool helpers per run are capped
+// at workers/activeRuns (at least 1), so when a second settle arrives
+// the first one's helpers shrink to make room as units complete.
+func (p *Pool) helperCapLocked() int {
+	if len(p.runs) == 0 {
+		return p.workers
+	}
+	cap := p.workers / len(p.runs)
+	if cap < 1 {
+		cap = 1
+	}
+	return cap
+}
+
+// work executes units of r under the given slot until the run is drained
+// or — for pool helpers — the fairness cap says to yield to another run.
+func (p *Pool) work(r *run, slot int, helper bool) {
+	for {
+		p.mu.Lock()
+		if r.next >= r.n {
+			p.mu.Unlock()
+			return
+		}
+		k := r.next
+		r.next++
+		r.inFlight++
+		p.mu.Unlock()
+
+		r.fn(slot, k)
+
+		p.mu.Lock()
+		r.inFlight--
+		p.finishLocked(r)
+		yield := helper && r.helpers > p.helperCapLocked()
+		p.mu.Unlock()
+		if yield {
+			return
+		}
+	}
+}
+
+// finishLocked retires r from the dispatch ring and signals its caller
+// once the last unit completes.
+func (p *Pool) finishLocked(r *run) {
+	if r.next < r.n || r.inFlight != 0 {
+		return
+	}
+	for i, other := range p.runs {
+		if other == r {
+			p.runs = append(p.runs[:i], p.runs[i+1:]...)
+			if p.rr > i {
+				p.rr--
+			}
+			close(r.done)
+			// One run fewer raises the fairness cap of the remaining
+			// runs, which may unblock idle workers.
+			p.cond.Broadcast()
+			return
+		}
+	}
+}
+
+// pickLocked selects the next run a pool worker should help, round-robin
+// from the cursor, skipping runs that are drained or out of slots. The
+// fairness cap is a preference, not a hard limit: the first pass skips
+// runs at or above their share, and only if no under-quota run can
+// absorb the worker does a second pass ignore the cap — a worker must
+// never idle while any run has undispatched units and a free slot
+// (work conservation; e.g. a slots=2 run cannot use its share of a big
+// pool, so the surplus flows to the other runs).
+func (p *Pool) pickLocked() (*run, int, bool) {
+	if len(p.runs) == 0 {
+		return nil, 0, false
+	}
+	cap := p.helperCapLocked()
+	for _, capped := range []bool{true, false} {
+		for off := 0; off < len(p.runs); off++ {
+			i := (p.rr + off) % len(p.runs)
+			r := p.runs[i]
+			if r.next >= r.n || len(r.freeSlots) == 0 || (capped && r.helpers >= cap) {
+				continue
+			}
+			p.rr = (i + 1) % len(p.runs)
+			slot := r.freeSlots[len(r.freeSlots)-1]
+			r.freeSlots = r.freeSlots[:len(r.freeSlots)-1]
+			r.helpers++
+			return r, slot, true
+		}
+	}
+	return nil, 0, false
+}
+
+// worker is one pool goroutine: wait for a pickable run, help it, return
+// the slot, repeat until Close.
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	p.mu.Lock()
+	for {
+		if p.closed {
+			p.mu.Unlock()
+			return
+		}
+		r, slot, ok := p.pickLocked()
+		if !ok {
+			p.cond.Wait()
+			continue
+		}
+		p.mu.Unlock()
+
+		p.work(r, slot, true)
+
+		p.mu.Lock()
+		r.freeSlots = append(r.freeSlots, slot)
+		r.helpers--
+		// The freed slot may make r (or, after a yield, another run)
+		// pickable again.
+		p.cond.Broadcast()
+	}
+}

@@ -1,0 +1,452 @@
+package sched
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPoolExecutesEveryUnitOnce covers the core contract: every k in
+// [0, n) runs exactly once, across pool sizes and run shapes.
+func TestPoolExecutesEveryUnitOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		for _, n := range []int{0, 1, 7, 64, 1000} {
+			p := NewPool(workers)
+			counts := make([]atomic.Int64, n+1)
+			p.Execute(4, n, func(_, k int) { counts[k].Add(1) })
+			p.Close()
+			for k := 0; k < n; k++ {
+				if got := counts[k].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: unit %d ran %d times", workers, n, k, got)
+				}
+			}
+		}
+	}
+}
+
+// TestPoolSlotExclusive asserts no two concurrent invocations share a
+// slot and every slot is inside the requested range.
+func TestPoolSlotExclusive(t *testing.T) {
+	p := NewPool(8)
+	defer p.Close()
+	const slots, n = 5, 2000
+	var inUse [slots]atomic.Int64
+	p.Execute(slots, n, func(slot, k int) {
+		if slot < 0 || slot >= slots {
+			t.Errorf("slot %d outside [0, %d)", slot, slots)
+			return
+		}
+		if inUse[slot].Add(1) != 1 {
+			t.Errorf("slot %d used concurrently", slot)
+		}
+		runtime.Gosched()
+		inUse[slot].Add(-1)
+	})
+}
+
+// TestPoolCallerAlwaysProgresses starves the pool with a blocked run and
+// checks a second run still completes on its caller's goroutine alone.
+func TestPoolCallerAlwaysProgresses(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	block := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// Occupies the caller plus both pool workers until released.
+		p.Execute(3, 3, func(_, k int) { <-block })
+	}()
+
+	done := make(chan struct{})
+	go func() {
+		p.Execute(4, 100, func(_, k int) {})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("run starved: caller did not make progress without pool workers")
+	}
+	close(block)
+	wg.Wait()
+}
+
+// TestPoolSharesWorkersAcrossRuns drives two concurrent runs and checks
+// both finish while total pool goroutines stay fixed at the pool size.
+func TestPoolSharesWorkersAcrossRuns(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var wg sync.WaitGroup
+	var total atomic.Int64
+	for r := 0; r < 6; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.Execute(4, 500, func(_, k int) { total.Add(1) })
+		}()
+	}
+	wg.Wait()
+	if got := total.Load(); got != 6*500 {
+		t.Fatalf("units executed = %d, want %d", got, 6*500)
+	}
+}
+
+// TestPoolGoroutinesBounded: the pool never spawns per-run goroutines —
+// the goroutine count during heavy concurrent load stays within pool
+// size + callers + slack.
+func TestPoolGoroutinesBounded(t *testing.T) {
+	const workers, callers = 4, 8
+	base := runtime.NumGoroutine()
+	p := NewPool(workers)
+	defer p.Close()
+
+	var peak atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.Execute(8, 400, func(_, k int) {
+				if g := int64(runtime.NumGoroutine()); g > peak.Load() {
+					peak.Store(g)
+				}
+			})
+		}()
+	}
+	wg.Wait()
+	// Bound: pre-existing + pool workers + caller goroutines + slack for
+	// the runtime's own bookkeeping.
+	limit := int64(base + workers + callers + 8)
+	if peak.Load() > limit {
+		t.Fatalf("goroutine peak %d exceeds bound %d (per-run pool spin-up?)", peak.Load(), limit)
+	}
+}
+
+// TestPoolExecuteAfterCloseRunsInline verifies the degraded path.
+func TestPoolExecuteAfterCloseRunsInline(t *testing.T) {
+	p := NewPool(2)
+	p.Close()
+	ran := 0
+	p.Execute(4, 10, func(slot, k int) {
+		if slot != 0 {
+			t.Errorf("inline run used slot %d", slot)
+		}
+		ran++
+	})
+	if ran != 10 {
+		t.Fatalf("ran %d units after close, want 10", ran)
+	}
+}
+
+// TestNilPoolRunsInline: a nil *Pool is a valid serial executor.
+func TestNilPoolRunsInline(t *testing.T) {
+	var p *Pool
+	ran := 0
+	p.Execute(4, 5, func(_, k int) { ran++ })
+	if ran != 5 {
+		t.Fatalf("ran %d units on nil pool, want 5", ran)
+	}
+}
+
+// TestSchedulerAdmissionBound floods a MaxConcurrentSettles=2 scheduler
+// with 8 settles and asserts active never exceeds 2 while all complete.
+func TestSchedulerAdmissionBound(t *testing.T) {
+	s := New(Config{Workers: 2, MaxConcurrentSettles: 2})
+	defer s.Close()
+	var active, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			release, err := s.Acquire(context.Background(), fmt.Sprintf("c%d", i))
+			if err != nil {
+				t.Errorf("acquire: %v", err)
+				return
+			}
+			a := active.Add(1)
+			for {
+				p := peak.Load()
+				if a <= p || peak.CompareAndSwap(p, a) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			active.Add(-1)
+			release()
+		}(i)
+	}
+	wg.Wait()
+	if peak.Load() > 2 {
+		t.Fatalf("observed %d concurrent admissions, bound is 2", peak.Load())
+	}
+	st := s.Stats()
+	if st.PeakActiveSettles > 2 {
+		t.Fatalf("stats peak active = %d, bound is 2", st.PeakActiveSettles)
+	}
+	if st.TotalAdmitted != 8 || st.TotalCompleted != 8 {
+		t.Fatalf("admitted/completed = %d/%d, want 8/8", st.TotalAdmitted, st.TotalCompleted)
+	}
+	if st.ActiveSettles != 0 || st.QueuedSettles != 0 {
+		t.Fatalf("scheduler not drained: %+v", st)
+	}
+}
+
+// TestSchedulerFIFO holds both slots, queues three settles, and asserts
+// they are admitted in arrival order.
+func TestSchedulerFIFO(t *testing.T) {
+	s := New(Config{Workers: 1, MaxConcurrentSettles: 1})
+	defer s.Close()
+	first, err := s.Acquire(context.Background(), "head")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var order []string
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, key := range []string{"a", "b", "c"} {
+		wg.Add(1)
+		go func(key string) {
+			defer wg.Done()
+			release, err := s.Acquire(context.Background(), key)
+			if err != nil {
+				t.Errorf("acquire %s: %v", key, err)
+				return
+			}
+			mu.Lock()
+			order = append(order, key)
+			mu.Unlock()
+			release()
+		}(key)
+		// Wait until this waiter is visibly queued before starting the
+		// next, so arrival order is deterministic.
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			if st, _ := s.StateOf(key); st == AdmissionQueued {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s never queued", key)
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+
+	if st, pos := s.StateOf("b"); st != AdmissionQueued || pos != 2 {
+		t.Fatalf("StateOf(b) = %v, %d; want queued, 2", st, pos)
+	}
+	if st, _ := s.StateOf("head"); st != AdmissionRunning {
+		t.Fatalf("StateOf(head) = %v, want running", st)
+	}
+
+	first()
+	wg.Wait()
+	if fmt.Sprint(order) != "[a b c]" {
+		t.Fatalf("admission order = %v, want FIFO [a b c]", order)
+	}
+	if st, _ := s.StateOf("head"); st != AdmissionNone {
+		t.Fatalf("released settle still tracked: %v", st)
+	}
+}
+
+// TestSchedulerQueuedCtxCancel abandons a queued settle and checks the
+// slot accounting stays intact.
+func TestSchedulerQueuedCtxCancel(t *testing.T) {
+	s := New(Config{Workers: 1, MaxConcurrentSettles: 1})
+	defer s.Close()
+	release, err := s.Acquire(context.Background(), "holder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := s.Acquire(ctx, "impatient")
+		errCh <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if st, _ := s.StateOf("impatient"); st == AdmissionQueued {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	cancel()
+	if err := <-errCh; err != context.Canceled {
+		t.Fatalf("cancelled acquire = %v, want context.Canceled", err)
+	}
+	if st, _ := s.StateOf("impatient"); st != AdmissionNone {
+		t.Fatalf("cancelled waiter still queued: %v", st)
+	}
+	release()
+	// The slot must be reusable after the abandoned wait.
+	release2, err := s.Acquire(context.Background(), "next")
+	if err != nil {
+		t.Fatal(err)
+	}
+	release2()
+	if st := s.Stats(); st.TotalRejected != 1 {
+		t.Fatalf("TotalRejected = %d, want 1", st.TotalRejected)
+	}
+}
+
+// TestSchedulerUnlimitedAdmission: MaxConcurrentSettles=0 admits
+// everyone immediately but still tracks state.
+func TestSchedulerUnlimitedAdmission(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	releases := make([]func(), 5)
+	for i := range releases {
+		r, err := s.Acquire(context.Background(), fmt.Sprintf("c%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		releases[i] = r
+	}
+	if st := s.Stats(); st.ActiveSettles != 5 || st.QueuedSettles != 0 {
+		t.Fatalf("stats = %+v, want 5 active 0 queued", st)
+	}
+	for _, r := range releases {
+		r()
+	}
+	if st := s.Stats(); st.ActiveSettles != 0 || st.TotalCompleted != 5 {
+		t.Fatalf("stats after release = %+v", st)
+	}
+}
+
+// TestPoolFairnessTwoRuns checks a small run completes while a much
+// larger run is in flight — the helper cap keeps the pool shareable, and
+// the small run's caller guarantees progress regardless.
+func TestPoolFairnessTwoRuns(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+
+	bigStarted := make(chan struct{})
+	bigRelease := make(chan struct{})
+	var once sync.Once
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		p.Execute(8, 10_000, func(_, k int) {
+			once.Do(func() { close(bigStarted) })
+			<-bigRelease
+		})
+	}()
+	<-bigStarted
+
+	done := make(chan struct{})
+	go func() {
+		p.Execute(4, 50, func(_, k int) { time.Sleep(10 * time.Microsecond) })
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("small run starved by big run")
+	}
+	close(bigRelease)
+	wg.Wait()
+}
+
+// TestSchedulerDuplicateKeys: the semaphore counts slots, not distinct
+// keys — two settles under the same (or empty) key consume two slots,
+// and releasing one must not erase the other's running state.
+func TestSchedulerDuplicateKeys(t *testing.T) {
+	s := New(Config{Workers: 1, MaxConcurrentSettles: 2})
+	defer s.Close()
+	r1, err := s.Acquire(context.Background(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.Acquire(context.Background(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.ActiveSettles != 2 {
+		t.Fatalf("two same-key acquires = %d active, want 2 (map-counted semaphore?)", st.ActiveSettles)
+	}
+	// The bound must hold against a third acquire of the same key.
+	blocked := make(chan struct{})
+	go func() {
+		r3, err := s.Acquire(context.Background(), "")
+		if err != nil {
+			t.Error(err)
+		}
+		close(blocked)
+		r3()
+	}()
+	select {
+	case <-blocked:
+		t.Fatal("third same-key acquire admitted past the bound of 2")
+	case <-time.After(50 * time.Millisecond):
+	}
+	r1()
+	if st, _ := s.StateOf(""); st != AdmissionRunning {
+		t.Fatalf("after one of two same-key releases, StateOf = %v, want still running", st)
+	}
+	<-blocked
+	r2()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if st := s.Stats(); st.ActiveSettles == 0 && st.TotalCompleted == 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("scheduler never drained: %+v", s.Stats())
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// TestPoolWorkConservation: the fairness cap must not idle workers — a
+// run that cannot absorb its share (few slots) leaves the surplus for
+// another run, which may then exceed its nominal cap.
+func TestPoolWorkConservation(t *testing.T) {
+	p := NewPool(8)
+	defer p.Close()
+	var wgA, wgB sync.WaitGroup
+	var peakB atomic.Int64
+	var inB atomic.Int64
+	blockA := make(chan struct{})
+	wgA.Add(1)
+	go func() {
+		defer wgA.Done()
+		// Run A: only 2 slots — caller + 1 helper, leaving ≥6 workers.
+		p.Execute(2, 4, func(_, k int) { <-blockA })
+	}()
+	wgB.Add(1)
+	go func() {
+		defer wgB.Done()
+		// Run B: 8 slots, long units. With cap = workers/2 = 4 and A
+		// unable to use its share, B must still draw more than 4 helpers.
+		p.Execute(8, 400, func(_, k int) {
+			n := inB.Add(1)
+			for {
+				pk := peakB.Load()
+				if n <= pk || peakB.CompareAndSwap(pk, n) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			inB.Add(-1)
+		})
+	}()
+	wgB.Wait()
+	close(blockA)
+	wgA.Wait()
+	// B's caller (1) + up to 7 pool helpers; a hard cap would pin pool
+	// helpers at 4 (peak 5 with the caller).
+	if peakB.Load() <= 5 {
+		t.Fatalf("run B peaked at %d concurrent units; fairness cap is idling workers", peakB.Load())
+	}
+}

@@ -1,0 +1,212 @@
+package sched
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// Config sizes a Scheduler.
+type Config struct {
+	// Workers is the shared truth-discovery pool size. 0 means GOMAXPROCS.
+	Workers int
+	// MaxConcurrentSettles bounds how many settles may run their stages
+	// at once; further settles queue FIFO. 0 means no admission bound
+	// (every settle runs immediately, all sharing the bounded pool).
+	MaxConcurrentSettles int
+}
+
+// AdmissionState is a campaign's position in the settle scheduler.
+type AdmissionState int
+
+const (
+	// AdmissionNone: the campaign has no settle in the scheduler.
+	AdmissionNone AdmissionState = iota
+	// AdmissionQueued: the settle is waiting for an admission slot.
+	AdmissionQueued
+	// AdmissionRunning: the settle holds an admission slot.
+	AdmissionRunning
+)
+
+// String names the admission state as it appears on the wire.
+func (s AdmissionState) String() string {
+	switch s {
+	case AdmissionNone:
+		return "none"
+	case AdmissionQueued:
+		return "queued"
+	case AdmissionRunning:
+		return "running"
+	default:
+		return fmt.Sprintf("admission(%d)", int(s))
+	}
+}
+
+// Stats is a point-in-time snapshot of the scheduler.
+type Stats struct {
+	// Workers is the shared pool size (the bound on truth-discovery
+	// goroutines across every concurrent settle).
+	Workers int
+	// MaxConcurrentSettles is the admission bound (0 = unlimited).
+	MaxConcurrentSettles int
+	// ActiveSettles counts settles currently holding an admission slot.
+	ActiveSettles int
+	// QueuedSettles counts settles waiting for admission.
+	QueuedSettles int
+	// PeakActiveSettles is the historical maximum of ActiveSettles.
+	PeakActiveSettles int
+	// PeakQueuedSettles is the historical maximum of QueuedSettles.
+	PeakQueuedSettles int
+	// TotalAdmitted counts settles ever granted a slot.
+	TotalAdmitted int64
+	// TotalCompleted counts settles that released their slot.
+	TotalCompleted int64
+	// TotalRejected counts settles abandoned while queued (ctx expiry).
+	TotalRejected int64
+}
+
+// Scheduler is a registry-wide settle gate: a FIFO admission semaphore
+// in front of one shared worker pool. Construct with New; all methods
+// are safe for concurrent use. It satisfies platform.Admission, and its
+// Pool satisfies truth.Executor.
+type Scheduler struct {
+	pool       *Pool
+	maxSettles int
+
+	mu sync.Mutex
+	// active is the semaphore count: admission slots currently held. It
+	// is tracked separately from the key map because keys need not be
+	// unique — two settles acquiring under the same (or an empty) key
+	// must still consume two slots.
+	active int
+	// running ref-counts held slots per key for StateOf.
+	running map[string]int
+	queue   []*waiter
+	stats   Stats
+}
+
+// waiter is one settle waiting for admission.
+type waiter struct {
+	key      string
+	ready    chan struct{}
+	admitted bool // set under Scheduler.mu when the slot is granted
+}
+
+// New builds a scheduler and starts its shared pool.
+func New(cfg Config) *Scheduler {
+	s := &Scheduler{
+		pool:       NewPool(cfg.Workers),
+		maxSettles: cfg.MaxConcurrentSettles,
+		running:    make(map[string]int),
+	}
+	if s.maxSettles < 0 {
+		s.maxSettles = 0
+	}
+	return s
+}
+
+// Pool returns the shared executor every admitted settle's
+// truth-discovery passes run on.
+func (s *Scheduler) Pool() *Pool { return s.pool }
+
+// Close stops the shared pool. Settles queued or running are not
+// interrupted (admission itself needs no goroutines); their
+// truth-discovery passes degrade to inline serial runs.
+func (s *Scheduler) Close() { s.pool.Close() }
+
+// Acquire blocks until the settle identified by key may run, FIFO among
+// waiters, or until ctx expires. The returned release function must be
+// called exactly once when the settle's stages finish. Acquire satisfies
+// platform.Admission.
+func (s *Scheduler) Acquire(ctx context.Context, key string) (release func(), err error) {
+	s.mu.Lock()
+	if s.maxSettles == 0 || (len(s.queue) == 0 && s.active < s.maxSettles) {
+		s.admitLocked(key)
+		s.mu.Unlock()
+		return func() { s.release(key) }, nil
+	}
+	w := &waiter{key: key, ready: make(chan struct{})}
+	s.queue = append(s.queue, w)
+	if q := len(s.queue); q > s.stats.PeakQueuedSettles {
+		s.stats.PeakQueuedSettles = q
+	}
+	s.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return func() { s.release(key) }, nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		if w.admitted {
+			// The slot was granted in the instant ctx fired; keep it —
+			// the settle proceeds rather than wasting the admission.
+			s.mu.Unlock()
+			return func() { s.release(key) }, nil
+		}
+		for i, qw := range s.queue {
+			if qw == w {
+				s.queue = append(s.queue[:i], s.queue[i+1:]...)
+				break
+			}
+		}
+		s.stats.TotalRejected++
+		s.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// admitLocked grants key a slot and updates the counters.
+func (s *Scheduler) admitLocked(key string) {
+	s.active++
+	s.running[key]++
+	s.stats.TotalAdmitted++
+	if s.active > s.stats.PeakActiveSettles {
+		s.stats.PeakActiveSettles = s.active
+	}
+}
+
+// release returns key's slot and admits the head of the queue.
+func (s *Scheduler) release(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.active--
+	if s.running[key]--; s.running[key] <= 0 {
+		delete(s.running, key)
+	}
+	s.stats.TotalCompleted++
+	for len(s.queue) > 0 && (s.maxSettles == 0 || s.active < s.maxSettles) {
+		w := s.queue[0]
+		s.queue = s.queue[1:]
+		w.admitted = true
+		s.admitLocked(w.key)
+		close(w.ready)
+	}
+}
+
+// StateOf reports key's admission state; for AdmissionQueued the second
+// result is its 1-based queue position.
+func (s *Scheduler) StateOf(key string) (AdmissionState, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.running[key] > 0 {
+		return AdmissionRunning, 0
+	}
+	for i, w := range s.queue {
+		if w.key == key {
+			return AdmissionQueued, i + 1
+		}
+	}
+	return AdmissionNone, 0
+}
+
+// Stats snapshots the scheduler's counters.
+func (s *Scheduler) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Workers = s.pool.Workers()
+	st.MaxConcurrentSettles = s.maxSettles
+	st.ActiveSettles = s.active
+	st.QueuedSettles = len(s.queue)
+	return st
+}

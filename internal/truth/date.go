@@ -50,6 +50,10 @@ type state struct {
 	n, m int
 	// par is the resolved worker-pool size (opt.parallelism()).
 	par int
+	// exec provides the goroutines for the data-parallel passes: the
+	// built-in per-run pool, or an injected shared executor
+	// (opt.executor()).
+	exec Executor
 
 	acc   [][]float64 // per-task accuracy A[i][j] = P_j(v_i^j)
 	accW  []float64   // per-worker accuracy A_i (eq. 17's average)
@@ -88,12 +92,13 @@ type state struct {
 func newState(ds *model.Dataset, opt Options, fm FalseValueModel) *state {
 	n, m := ds.NumWorkers(), ds.NumTasks()
 	s := &state{
-		ds:  ds,
-		opt: opt,
-		fm:  fm,
-		n:   n,
-		m:   m,
-		par: opt.parallelism(),
+		ds:   ds,
+		opt:  opt,
+		fm:   fm,
+		n:    n,
+		m:    m,
+		par:  opt.parallelism(),
+		exec: opt.executor(),
 
 		acc:   newZeroMatrix(n, m),
 		accW:  make([]float64, n),

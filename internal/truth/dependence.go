@@ -76,14 +76,14 @@ func (s *state) computeDependence() {
 		}
 	} else {
 		partials := s.depScratch(shards)
-		parallelDo(s.par, shards, func(sh int) {
+		s.do(shards, func(sh int) {
 			lo, hi := sh*s.m/shards, (sh+1)*s.m/shards
 			s.accumulateDependence(partials[sh], lo, hi, equiv)
 		})
 
 		// Merge: prior + per-shard partials in fixed shard order, then
 		// the eq. 15 posterior. Row-parallel; every row is independent.
-		parallelDo(s.par, s.n, func(i int) {
+		s.do(s.n, func(i int) {
 			row := s.dep[i]
 			for k := 0; k < s.n; k++ {
 				if i == k {
@@ -101,7 +101,7 @@ func (s *state) computeDependence() {
 
 	// Cache Σ_{k≠i} dep[i][k] + dep[k][i] for the ordering seed
 	// (Algorithm 1 line 16). Row-parallel over the finished posterior.
-	parallelDo(s.par, s.n, func(i int) {
+	s.do(s.n, func(i int) {
 		var sum numeric.KahanSum
 		for k := 0; k < s.n; k++ {
 			if k == i {

@@ -32,13 +32,13 @@ func (s *state) estimate() {
 	// two tasks share state and no floating-point order depends on the
 	// schedule. Each pool slot owns reusable posterior scratch.
 	scratch := s.estScratchSlots()
-	parallelSlots(s.par, s.m, func(slot, j int) {
+	s.doSlots(s.m, func(slot, j int) {
 		s.estimateTask(j, scratch[slot])
 	})
 
 	// Eq. 17 (per-worker part): fold the per-task probabilities into the
 	// global accuracy used by the next iteration. Worker-parallel.
-	parallelDo(s.par, s.n, func(i int) {
+	s.do(s.n, func(i int) {
 		tasks := s.ds.WorkerTasks(i)
 		if len(tasks) == 0 {
 			return

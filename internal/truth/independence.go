@@ -29,7 +29,7 @@ func (s *state) computeIndependence(exact bool) {
 	// per-group results never mix across tasks, so the schedule cannot
 	// affect the output. Each pool slot owns the greedy pass's scratch.
 	scratch := s.indScratchSlots()
-	parallelSlots(s.par, s.m, func(slot, j int) {
+	s.doSlots(s.m, func(slot, j int) {
 		sc := scratch[slot]
 		values := s.ds.Values(j)
 		for v := range values {

@@ -106,6 +106,16 @@ type Options struct {
 	// time, never reproducibility. Timing experiments (Fig. 5/7) pin it
 	// to 1 so per-method wall-clock comparisons stay honest.
 	Parallelism int
+
+	// Executor, when non-nil, replaces the engine's built-in per-run
+	// goroutine pool: every data-parallel pass is submitted to it instead
+	// of spawning goroutines, with Parallelism as the requested slot
+	// count. This is how a multi-campaign service keeps N concurrent
+	// settles on one bounded pool (see internal/sched) instead of
+	// N×GOMAXPROCS runnable goroutines. Results are bit-identical with
+	// and without an Executor — the work partition never depends on who
+	// runs it. Nil means the built-in pool.
+	Executor Executor
 }
 
 // DefaultOptions returns the paper's default parameterization
@@ -181,6 +191,15 @@ func (o Options) parallelism() int {
 		return o.Parallelism
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// executor resolves the pass executor: the injected one, or the built-in
+// per-run goroutine pool.
+func (o Options) executor() Executor {
+	if o.Executor != nil {
+		return o.Executor
+	}
+	return goExecutor{}
 }
 
 func (o Options) similarityThreshold() float64 {

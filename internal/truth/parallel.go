@@ -48,15 +48,50 @@ func depShardCount(m int) int {
 	return s
 }
 
-// parallelDo runs fn(k) for every k in [0, n) across up to p goroutines.
-// p <= 1 runs inline. fn must only write state that no other k touches.
-func parallelDo(p, n int, fn func(k int)) {
-	parallelSlots(p, n, func(_, k int) { fn(k) })
+// Executor abstracts who provides the goroutines for the engine's
+// data-parallel passes. Execute runs fn(slot, k) for every k in [0, n)
+// using at most `slots` concurrent invocations; each invocation's slot
+// is in [0, slots) and exclusive to one goroutine at a time, so the
+// engine can key per-goroutine scratch by slot. fn must only write state
+// no other k touches.
+//
+// The default executor (goExecutor) spins up a goroutine pool per call —
+// the right shape for a lone Discover. A service settling many campaigns
+// concurrently injects a shared bounded executor instead (see
+// internal/sched.Pool, which satisfies this interface), so aggregate
+// goroutines stay fixed at the shared pool size no matter how many
+// settles are in flight. Either way results are bit-identical: the work
+// partition is a pure function of the dataset shape, never of who runs
+// which unit.
+type Executor interface {
+	Execute(slots, n int, fn func(slot, k int))
 }
 
-// parallelSlots is parallelDo with a slot identifier: fn receives a slot
-// in [0, p) that is stable for the goroutine invoking it, so callers can
-// hand each goroutine its own scratch buffers.
+// goExecutor is the per-run default: a transient goroutine pool per call.
+type goExecutor struct{}
+
+func (goExecutor) Execute(slots, n int, fn func(slot, k int)) {
+	parallelSlots(slots, n, fn)
+}
+
+// do runs fn(k) for every k in [0, n) on the state's executor with the
+// run's parallelism degree. fn must only write state no other k touches.
+func (s *state) do(n int, fn func(k int)) {
+	s.exec.Execute(s.par, n, func(_, k int) { fn(k) })
+}
+
+// doSlots is do with a slot identifier for per-goroutine scratch.
+func (s *state) doSlots(n int, fn func(slot, k int)) {
+	s.exec.Execute(s.par, n, fn)
+}
+
+// parallelSlots runs fn(slot, k) for every k in [0, n) across up to p
+// goroutines; p <= 1 runs inline. fn receives a slot in [0, p) that is
+// stable for the goroutine invoking it, so callers can hand each
+// goroutine its own scratch buffers, and must only write state that no
+// other k touches. It backs goExecutor only — engine passes go through
+// the state's do/doSlots so an injected shared Executor is never
+// bypassed.
 func parallelSlots(p, n int, fn func(slot, k int)) {
 	if p > n {
 		p = n

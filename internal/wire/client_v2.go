@@ -135,6 +135,16 @@ func (c *Client) CampaignReport(ctx context.Context, id string) (*Report, error)
 	return &out, nil
 }
 
+// SchedulerStats fetches the registry-wide settle scheduler's counters;
+// Enabled is false when the server settles without admission control.
+func (c *Client) SchedulerStats(ctx context.Context) (*SchedulerStats, error) {
+	var out SchedulerStats
+	if err := c.do(ctx, "GET", "/v2/scheduler", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // CampaignAudit fetches the copier audit of one settled campaign.
 func (c *Client) CampaignAudit(ctx context.Context, id string) (*AuditReport, error) {
 	var out AuditReport

@@ -17,7 +17,15 @@
 //	POST /v2/campaigns/{id}/close        begin async settle (poll the snapshot)
 //	GET  /v2/campaigns/{id}/report       settled report
 //	GET  /v2/campaigns/{id}/audit        copier audit of a settled campaign
+//	GET  /v2/scheduler                   settle-scheduler stats (admission, queue)
 //	GET  /v2/healthz                     liveness
+//
+// When the registry carries a settle scheduler (internal/sched), closes
+// are admission-controlled: at most MaxConcurrentSettles campaigns run
+// their stages at once, the rest queue FIFO, and the campaign snapshot
+// reports settle_admission ("queued"/"running") plus the 1-based
+// settle_queue_position while waiting. Results are bit-identical with
+// and without the scheduler — it bounds resources, never outcomes.
 //
 // The original single-campaign /v1 endpoints remain as a compatibility
 // shim over a designated default campaign:
@@ -151,6 +159,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v2/campaigns/{id}/close", s.handleCloseCampaign)
 	mux.HandleFunc("GET /v2/campaigns/{id}/report", s.handleCampaignReport)
 	mux.HandleFunc("GET /v2/campaigns/{id}/audit", s.handleCampaignAudit)
+	mux.HandleFunc("GET /v2/scheduler", s.handleSchedulerStats)
 	mux.HandleFunc("GET /v2/healthz", healthz)
 	return mux
 }

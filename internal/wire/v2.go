@@ -2,6 +2,7 @@ package wire
 
 import (
 	"encoding/json"
+	"io"
 	"net/http"
 	"strconv"
 
@@ -11,6 +12,7 @@ import (
 	"imc2/internal/platform"
 	"imc2/internal/randx"
 	"imc2/internal/registry"
+	"imc2/internal/sched"
 )
 
 // Task is the wire form of a published task.
@@ -28,6 +30,35 @@ type CampaignInfo struct {
 	// settle attempt, if any (the campaign is back in state "open").
 	SettleError     string `json:"settle_error,omitempty"`
 	SettleErrorCode string `json:"settle_error_code,omitempty"`
+	// SettleAdmission refines state "closing" on a registry with a
+	// settle scheduler: "queued" while the settle waits for an admission
+	// slot, "running" while its stages execute. Empty otherwise.
+	SettleAdmission string `json:"settle_admission,omitempty"`
+	// SettleQueuePosition is the 1-based FIFO position while
+	// SettleAdmission is "queued" (0 otherwise).
+	SettleQueuePosition int `json:"settle_queue_position,omitempty"`
+}
+
+// SchedulerStats is the wire view of the registry-wide settle scheduler
+// (GET /v2/scheduler). With no scheduler configured only Enabled=false
+// is returned: every settle then runs immediately with its own pool.
+type SchedulerStats struct {
+	Enabled bool `json:"enabled"`
+	// Workers is the shared truth-discovery pool size — the bound on
+	// settle goroutines across all concurrent campaigns.
+	Workers int `json:"workers,omitempty"`
+	// MaxConcurrentSettles is the admission bound (0 = unlimited).
+	MaxConcurrentSettles int `json:"max_concurrent_settles,omitempty"`
+	ActiveSettles        int `json:"active_settles"`
+	QueuedSettles        int `json:"queued_settles"`
+	PeakActiveSettles    int `json:"peak_active_settles"`
+	PeakQueuedSettles    int `json:"peak_queued_settles"`
+	// TotalAdmitted/TotalCompleted/TotalRejected count settles granted a
+	// slot, finished, and abandoned while queued since the server
+	// started.
+	TotalAdmitted  int64 `json:"total_admitted"`
+	TotalCompleted int64 `json:"total_completed"`
+	TotalRejected  int64 `json:"total_rejected"`
 }
 
 // CreateCampaignRequest declares a new campaign: either an explicit task
@@ -100,7 +131,34 @@ func (s *Server) campaignInfo(c *registry.Campaign) CampaignInfo {
 		info.SettleError = err.Error()
 		info.SettleErrorCode = string(imcerr.CodeOf(err))
 	}
+	if st, pos := c.SettleAdmission(); st != sched.AdmissionNone {
+		info.SettleAdmission = st.String()
+		info.SettleQueuePosition = pos
+	}
 	return info
+}
+
+// handleSchedulerStats serves the registry-wide settle scheduler's
+// counters; a registry without a scheduler answers Enabled=false.
+func (s *Server) handleSchedulerStats(w http.ResponseWriter, r *http.Request) {
+	sc := s.reg.Scheduler()
+	if sc == nil {
+		writeJSON(w, http.StatusOK, SchedulerStats{})
+		return
+	}
+	st := sc.Stats()
+	writeJSON(w, http.StatusOK, SchedulerStats{
+		Enabled:              true,
+		Workers:              st.Workers,
+		MaxConcurrentSettles: st.MaxConcurrentSettles,
+		ActiveSettles:        st.ActiveSettles,
+		QueuedSettles:        st.QueuedSettles,
+		PeakActiveSettles:    st.PeakActiveSettles,
+		PeakQueuedSettles:    st.PeakQueuedSettles,
+		TotalAdmitted:        st.TotalAdmitted,
+		TotalCompleted:       st.TotalCompleted,
+		TotalRejected:        st.TotalRejected,
+	})
 }
 
 // campaign resolves the {id} path parameter.
@@ -108,29 +166,44 @@ func (s *Server) campaign(r *http.Request) (*registry.Campaign, error) {
 	return s.reg.Get(r.PathValue("id"))
 }
 
-func (s *Server) handleCreateCampaign(w http.ResponseWriter, r *http.Request) {
+// decodeCreateCampaignRequest parses and structurally validates a
+// POST /v2/campaigns body: it must be well-formed JSON naming exactly
+// one of tasks and spec, and a named spec must validate. Factored out of
+// the handler so FuzzDecodeV2Request exercises the identical path.
+func decodeCreateCampaignRequest(body io.Reader) (CreateCampaignRequest, error) {
 	var req CreateCampaignRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, imcerr.Wrapf(imcerr.CodeInvalid, err, "malformed campaign request"))
-		return
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		return req, imcerr.Wrapf(imcerr.CodeInvalid, err, "malformed campaign request")
 	}
-	var tasks []Task
 	switch {
 	case len(req.Tasks) > 0 && req.Spec != nil:
-		writeError(w, imcerr.New(imcerr.CodeInvalid, "campaign request sets both tasks and spec"))
-		return
-	case len(req.Tasks) > 0:
-		tasks = req.Tasks
+		return req, imcerr.New(imcerr.CodeInvalid, "campaign request sets both tasks and spec")
+	case len(req.Tasks) == 0 && req.Spec == nil:
+		return req, imcerr.New(imcerr.CodeInvalid, "campaign request needs tasks or a spec")
 	case req.Spec != nil:
+		// Reject impossible generator shapes at the door — the generator
+		// itself must never see an unvalidated client spec.
+		if err := req.Spec.Validate(); err != nil {
+			return req, imcerr.Wrapf(imcerr.CodeInvalid, err, "campaign spec")
+		}
+	}
+	return req, nil
+}
+
+func (s *Server) handleCreateCampaign(w http.ResponseWriter, r *http.Request) {
+	req, err := decodeCreateCampaignRequest(r.Body)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	tasks := req.Tasks
+	if req.Spec != nil {
 		g, err := gen.NewCampaign(*req.Spec, randx.New(req.Seed))
 		if err != nil {
 			writeError(w, imcerr.Wrapf(imcerr.CodeInvalid, err, "generating campaign"))
 			return
 		}
 		tasks = g.Dataset.Tasks()
-	default:
-		writeError(w, imcerr.New(imcerr.CodeInvalid, "campaign request needs tasks or a spec"))
-		return
 	}
 	c, err := s.reg.Create(req.Name, tasks, s.cfg, req.Draft)
 	if err != nil {
@@ -197,20 +270,34 @@ func (s *Server) handleCancelCampaign(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.campaignInfo(c))
 }
 
+// decodeSubmitRequest parses a POST /v2/campaigns/{id}/submissions body,
+// accepting both envelope shapes: a single submission object, or a batch
+// under "submissions". Factored out of the handler so
+// FuzzDecodeV2Request exercises the identical path.
+func decodeSubmitRequest(body io.Reader) ([]Submission, error) {
+	var req submitRequest
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		return nil, imcerr.Wrapf(imcerr.CodeInvalid, err, "malformed submission")
+	}
+	if req.Submissions == nil {
+		return []Submission{req.Submission}, nil
+	}
+	if len(req.Submissions) == 0 {
+		return nil, imcerr.New(imcerr.CodeInvalid, "submission envelope has no submissions")
+	}
+	return req.Submissions, nil
+}
+
 func (s *Server) handleSubmissions(w http.ResponseWriter, r *http.Request) {
 	c, err := s.campaign(r)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	var req submitRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, imcerr.Wrapf(imcerr.CodeInvalid, err, "malformed submission"))
+	subs, err := decodeSubmitRequest(r.Body)
+	if err != nil {
+		writeError(w, err)
 		return
-	}
-	subs := req.Submissions
-	if subs == nil {
-		subs = []Submission{req.Submission}
 	}
 	ps := make([]platform.Submission, 0, len(subs))
 	for _, sub := range subs {
