@@ -14,10 +14,24 @@
 // (further closes queue FIFO, observable via settle_admission in the
 // campaign snapshot and GET /v2/scheduler), and all settles share one
 // -sched-workers truth-discovery pool instead of spawning a pool each.
+// The queue itself is bounded by -max-queued-settles: an overflowing
+// close is rejected with 503 + Retry-After instead of queueing without
+// bound (the typed client retries automatically).
+//
+// With -data-dir the daemon is durable: every campaign mutation is
+// logged to an event-sourced WAL (snapshotted and compacted every
+// -snapshot-every events, fsynced per -fsync) before it is
+// acknowledged, and a restart replays the directory — same campaign
+// IDs, same submissions, bit-identical settled reports — then re-queues
+// any settle the previous process did not survive. Seeded campaigns are
+// only pre-opened when the data directory holds no prior state, so a
+// restart resumes instead of duplicating. Graceful shutdown drains
+// in-flight settles, then flushes and closes the store.
 //
 // Usage:
 //
 //	platformd -addr :8080 -seed 42 -workers 40 -tasks 60 -campaigns 3 -max-settles 2
+//	platformd -addr :8080 -data-dir /var/lib/imc2 -snapshot-every 256 -fsync settle
 package main
 
 import (
@@ -36,6 +50,7 @@ import (
 	"imc2/internal/randx"
 	"imc2/internal/registry"
 	"imc2/internal/sched"
+	"imc2/internal/store"
 	"imc2/internal/wire"
 )
 
@@ -61,7 +76,12 @@ func run(args []string) error {
 		par       = fs.Int("parallelism", 0, "truth-discovery slots requested per settle (0 = GOMAXPROCS, 1 = serial; results are identical either way)")
 
 		maxSettles   = fs.Int("max-settles", 2, "campaign settles allowed to run concurrently; further closes queue FIFO (0 = unlimited)")
+		maxQueued    = fs.Int("max-queued-settles", 64, "settle admission queue depth; overflowing closes get 503 + Retry-After (0 = unbounded)")
 		schedWorkers = fs.Int("sched-workers", 0, "shared settle worker pool size across all campaigns (0 = GOMAXPROCS)")
+
+		dataDir       = fs.String("data-dir", "", "durable campaign store directory (empty = in-memory only; state dies with the process)")
+		snapshotEvery = fs.Int("snapshot-every", 256, "fold a store snapshot and compact the WAL every N events (-1 = only on shutdown)")
+		fsyncPolicy   = fs.String("fsync", "settle", "WAL fsync policy: settle (fsync on created/settled/cancelled), always, never")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -72,8 +92,15 @@ func run(args []string) error {
 	if *maxSettles < 0 {
 		return fmt.Errorf("-max-settles must be >= 0, got %d", *maxSettles)
 	}
+	if *maxQueued < 0 {
+		return fmt.Errorf("-max-queued-settles must be >= 0, got %d", *maxQueued)
+	}
 	if *schedWorkers < 0 {
 		return fmt.Errorf("-sched-workers must be >= 0, got %d", *schedWorkers)
+	}
+	fsync, ok := store.ParseFsyncPolicy(*fsyncPolicy)
+	if !ok {
+		return fmt.Errorf("unknown -fsync policy %q (settle, always, never)", *fsyncPolicy)
 	}
 
 	spec, err := campaignSpec(*workers, *tasks, *copiers)
@@ -97,27 +124,71 @@ func run(args []string) error {
 	// One settle scheduler for the whole registry: concurrent closes
 	// share a bounded pool and queue behind -max-settles instead of each
 	// spinning up GOMAXPROCS goroutines. Reports are unaffected.
-	scheduler := sched.New(sched.Config{Workers: *schedWorkers, MaxConcurrentSettles: *maxSettles})
+	scheduler := sched.New(sched.Config{
+		Workers:              *schedWorkers,
+		MaxConcurrentSettles: *maxSettles,
+		MaxQueuedSettles:     *maxQueued,
+	})
 	defer scheduler.Close()
-	reg := registry.New(registry.WithScheduler(scheduler))
+
+	regOpts := []registry.Option{registry.WithScheduler(scheduler)}
+	var st *store.FileStore
+	if *dataDir != "" {
+		var err error
+		st, err = store.Open(store.Options{Dir: *dataDir, SnapshotEvery: *snapshotEvery, Fsync: fsync})
+		if err != nil {
+			return err
+		}
+		// Closed explicitly on the graceful path (after settles drain);
+		// the deferred close only covers error exits, where it flushes
+		// whatever was acknowledged.
+		defer st.Close()
+		regOpts = append(regOpts, registry.WithStore(st))
+	}
+	reg := registry.New(regOpts...)
+
+	// Recover before seeding: a data directory with prior state resumes
+	// it (same IDs, same submissions, bit-identical reports) instead of
+	// opening duplicate seeded campaigns.
+	var pending []*registry.Campaign
 	defaultID := ""
-	for k := 0; k < *campaigns; k++ {
-		c, err := gen.NewCampaign(spec, randx.New(*seed+int64(k)))
+	recovered := 0
+	if st != nil {
+		var err error
+		pending, err = reg.Restore(st.State().Campaigns(), st.RecoveredAt())
 		if err != nil {
-			return err
+			return fmt.Errorf("recovering %s: %w", *dataDir, err)
 		}
-		hosted, err := reg.Create(fmt.Sprintf("seed-%d", *seed+int64(k)), c.Dataset.Tasks(), cfg, false)
-		if err != nil {
-			return err
+		recovered = reg.Len()
+		if recovered > 0 {
+			page, _ := reg.List(0, 1)
+			defaultID = page[0].ID()
+			logger.Printf("recovered %d campaigns from %s (%d events; %d settles to re-queue)",
+				recovered, *dataDir, st.Stats().RecoveredEvents, len(pending))
 		}
-		if k == 0 {
-			defaultID = hosted.ID()
+	}
+	if recovered == 0 {
+		for k := 0; k < *campaigns; k++ {
+			c, err := gen.NewCampaign(spec, randx.New(*seed+int64(k)))
+			if err != nil {
+				return err
+			}
+			hosted, err := reg.Create(fmt.Sprintf("seed-%d", *seed+int64(k)), c.Dataset.Tasks(), cfg, false)
+			if err != nil {
+				return err
+			}
+			if k == 0 {
+				defaultID = hosted.ID()
+			}
+			logger.Printf("campaign %s open: %d tasks published, expecting %d workers (seed %d)",
+				hosted.ID(), *tasks, *workers, *seed+int64(k))
 		}
-		logger.Printf("campaign %s open: %d tasks published, expecting %d workers (seed %d)",
-			hosted.ID(), *tasks, *workers, *seed+int64(k))
 	}
 
 	srv := wire.NewRegistryServer(reg, defaultID, cfg, logger.Printf)
+	// Finish what the crash interrupted: settles recorded as requested
+	// but never settled re-enter the normal admission path.
+	srv.ResumeSettles(pending)
 	httpServer := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
@@ -140,11 +211,31 @@ func run(args []string) error {
 		logger.Printf("received %v, draining", sig)
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
-		if err := httpServer.Shutdown(ctx); err != nil {
-			return err
+		// Even if the listener cannot drain its connections in time,
+		// carry on to the settle drain and the store close: returning
+		// early would run the deferred store close while settles are
+		// still in flight — the exact race this shutdown order exists
+		// to prevent.
+		err := httpServer.Shutdown(ctx)
+		// Drain in-flight asynchronous settles after the listener stops
+		// — srv.Shutdown waits for them (aborting only at ctx expiry,
+		// and then still waiting for the abort to land), so every
+		// settle's final durable write happens before the store flushes
+		// and closes below.
+		if serr := srv.Shutdown(ctx); serr != nil && err == nil {
+			err = serr
 		}
-		// Abort in-flight asynchronous settles after the listener drains.
-		return srv.Shutdown(ctx)
+		if st != nil {
+			if cerr := st.Close(); cerr != nil {
+				logger.Printf("campaign store close failed: %v", cerr)
+				if err == nil {
+					err = cerr
+				}
+			} else {
+				logger.Printf("campaign store flushed and closed (%s)", *dataDir)
+			}
+		}
+		return err
 	}
 }
 

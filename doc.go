@@ -79,7 +79,27 @@
 // outcomes: the work partition's shape-purity above means reports stay
 // bit-identical under any interleaving of campaigns on the shared pool,
 // which the multi-campaign stress test in internal/wire pins
-// bit-for-bit against serial baselines.
+// bit-for-bit against serial baselines. The admission queue may itself
+// be bounded (SettleSchedulerConfig.MaxQueuedSettles, platformd
+// -max-queued-settles): an overflowing close is rejected with
+// imc2.ErrUnavailable — 503 + Retry-After on the wire — instead of
+// queueing without bound.
+//
+// A production registry should also be durable: attach a campaign store
+// (internal/store) and every mutation — creation, submissions,
+// lifecycle transitions, settled reports — is logged to an event-sourced
+// WAL with periodic compacted snapshots before it is acknowledged, so a
+// crash loses nothing and a restart replays the directory to a
+// bit-identical registry (campaigns that died mid-settle are re-queued
+// automatically):
+//
+//	st, err := imc2.NewFileStore("/var/lib/imc2")
+//	reg := imc2.NewCampaignRegistry(imc2.WithCampaignStore(st))
+//	pending, err := imc2.RestoreCampaigns(reg, st)  // before serving
+//
+// (platformd wires this via -data-dir, -snapshot-every, and -fsync; see
+// API.md's "Durability" for the WAL format, fsync policy, and recovery
+// semantics, and GET /v2/store for observability.)
 //
 // Failures everywhere carry a machine-readable code (imc2.ErrorCodeOf;
 // sentinels imc2.ErrNotFound, imc2.ErrConflict, imc2.ErrInvalid,

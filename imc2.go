@@ -12,6 +12,7 @@ import (
 	"imc2/internal/sched"
 	"imc2/internal/simil"
 	"imc2/internal/stats"
+	"imc2/internal/store"
 	"imc2/internal/strategy"
 	"imc2/internal/truth"
 )
@@ -28,23 +29,25 @@ type ErrorCode = imcerr.Code
 
 // The error taxonomy.
 const (
-	CodeInvalid    = imcerr.CodeInvalid
-	CodeNotFound   = imcerr.CodeNotFound
-	CodeConflict   = imcerr.CodeConflict
-	CodeInfeasible = imcerr.CodeInfeasible
-	CodeMonopolist = imcerr.CodeMonopolist
-	CodeCancelled  = imcerr.CodeCancelled
-	CodeInternal   = imcerr.CodeInternal
+	CodeInvalid     = imcerr.CodeInvalid
+	CodeNotFound    = imcerr.CodeNotFound
+	CodeConflict    = imcerr.CodeConflict
+	CodeInfeasible  = imcerr.CodeInfeasible
+	CodeMonopolist  = imcerr.CodeMonopolist
+	CodeCancelled   = imcerr.CodeCancelled
+	CodeUnavailable = imcerr.CodeUnavailable
+	CodeInternal    = imcerr.CodeInternal
 )
 
 // Bare-code sentinels for errors.Is tests against a whole class (the
 // auction sentinels ErrInfeasible and ErrMonopolist below carry the
 // matching codes, so they participate in the same taxonomy).
 var (
-	ErrInvalid   = imcerr.ErrInvalid
-	ErrNotFound  = imcerr.ErrNotFound
-	ErrConflict  = imcerr.ErrConflict
-	ErrCancelled = imcerr.ErrCancelled
+	ErrInvalid     = imcerr.ErrInvalid
+	ErrNotFound    = imcerr.ErrNotFound
+	ErrConflict    = imcerr.ErrConflict
+	ErrCancelled   = imcerr.ErrCancelled
+	ErrUnavailable = imcerr.ErrUnavailable
 )
 
 // ErrorCodeOf extracts the outermost error code from any error chain
@@ -383,6 +386,88 @@ func WithMaxConcurrentSettles(n int) RegistryOption {
 	return func(r *CampaignRegistry) {
 		registry.WithOwnedScheduler(sched.New(sched.Config{MaxConcurrentSettles: n}))(r)
 	}
+}
+
+// ---- Durable campaign store (event-sourced WAL + snapshots) ------------------
+
+// CampaignStore is what a durable registry needs from a persistence
+// backend: ordered, durable event appends. A nil store means in-memory
+// only — the zero-configuration default.
+type CampaignStore = store.Store
+
+// FileCampaignStore is the event-sourced file backend: an append-only,
+// checksummed WAL of campaign events plus periodic compacted snapshots,
+// with deterministic replay on open. See internal/store.
+type FileCampaignStore = store.FileStore
+
+// CampaignStoreOptions configures a file store: the data directory, the
+// snapshot interval, and the fsync policy.
+type CampaignStoreOptions = store.Options
+
+// CampaignStoreStats is a point-in-time snapshot of a file store's WAL,
+// snapshot, and recovery counters (served as GET /v2/store).
+type CampaignStoreStats = store.Stats
+
+// FsyncPolicy selects when the WAL is fsynced.
+type FsyncPolicy = store.FsyncPolicy
+
+// WAL fsync policies: FsyncSettle (the default) syncs on the events
+// that create or discharge payment obligations, FsyncAlways on every
+// append, FsyncNever never (tests and benchmarks only).
+const (
+	FsyncSettle = store.FsyncSettle
+	FsyncAlways = store.FsyncAlways
+	FsyncNever  = store.FsyncNever
+)
+
+// NewFileStore opens (or recovers) a durable campaign store in dir with
+// default options: snapshot every 256 events, fsync-on-settle. Close it
+// after the registry's settles drain.
+func NewFileStore(dir string) (*FileCampaignStore, error) {
+	return store.Open(store.Options{Dir: dir})
+}
+
+// OpenFileStore opens (or recovers) a durable campaign store with full
+// control over the snapshot interval and fsync policy.
+func OpenFileStore(opts CampaignStoreOptions) (*FileCampaignStore, error) {
+	return store.Open(opts)
+}
+
+// WithCampaignStore attaches a durable store to the registry: every
+// campaign mutation appends an event before the registry acknowledges
+// it, and a settled report is durable before the campaign reads
+// Settled. The caller keeps ownership — Close the store after the
+// registry's settles drain. Rebuild prior state with RestoreCampaigns
+// before serving traffic.
+func WithCampaignStore(st CampaignStore) RegistryOption { return registry.WithStore(st) }
+
+// WithStoreDir is the one-line durable registry: it opens (or recovers)
+// a file store in dir with default options and hands it to the registry
+// as an owned store, closed by the registry's Close. If the store fails
+// to open, the registry is poisoned: campaign creation returns the open
+// error instead of silently running without the durability the caller
+// asked for. Recovered prior state is NOT restored automatically —
+// call RestoreCampaigns (via the registry's Store) when the directory
+// may hold state from an earlier run.
+func WithStoreDir(dir string) RegistryOption {
+	return func(r *CampaignRegistry) {
+		st, err := store.Open(store.Options{Dir: dir})
+		if err != nil {
+			registry.WithStoreError(err)(r)
+			return
+		}
+		registry.WithOwnedStore(st)(r)
+	}
+}
+
+// RestoreCampaigns rebuilds an empty durable registry from its store's
+// recovered state — original IDs, submission order, lifecycle states,
+// and bit-identical settled reports — and returns the campaigns whose
+// settle the previous process did not survive. Re-queue those through
+// the normal settle path (the wire server's ResumeSettles does exactly
+// that).
+func RestoreCampaigns(reg *CampaignRegistry, st *FileCampaignStore) ([]*HostedCampaign, error) {
+	return reg.Restore(st.State().Campaigns(), st.RecoveredAt())
 }
 
 // ---- Workload generation -----------------------------------------------------

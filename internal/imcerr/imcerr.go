@@ -15,6 +15,7 @@
 //	CodeInfeasible  the campaign cannot settle: requirements unsatisfiable
 //	CodeMonopolist  a winner is irreplaceable, so no critical payment exists
 //	CodeCancelled   the operation was abandoned via context cancellation
+//	CodeUnavailable the platform is overloaded; retry later (backpressure)
 //	CodeInternal    everything else
 //
 // Errors nest with the standard errors package: Wrap preserves the cause
@@ -32,13 +33,14 @@ type Code string
 
 // The taxonomy. The string values appear verbatim in wire responses.
 const (
-	CodeInvalid    Code = "invalid"
-	CodeNotFound   Code = "not_found"
-	CodeConflict   Code = "conflict"
-	CodeInfeasible Code = "infeasible"
-	CodeMonopolist Code = "monopolist"
-	CodeCancelled  Code = "cancelled"
-	CodeInternal   Code = "internal"
+	CodeInvalid     Code = "invalid"
+	CodeNotFound    Code = "not_found"
+	CodeConflict    Code = "conflict"
+	CodeInfeasible  Code = "infeasible"
+	CodeMonopolist  Code = "monopolist"
+	CodeCancelled   Code = "cancelled"
+	CodeUnavailable Code = "unavailable"
+	CodeInternal    Code = "internal"
 )
 
 // Error is a classified error. Code is always set; Message and Err are
@@ -81,13 +83,14 @@ func (e *Error) Is(target error) bool {
 // Bare-code sentinels for errors.Is tests against the whole class, e.g.
 // errors.Is(err, imcerr.ErrNotFound).
 var (
-	ErrInvalid    = &Error{Code: CodeInvalid}
-	ErrNotFound   = &Error{Code: CodeNotFound}
-	ErrConflict   = &Error{Code: CodeConflict}
-	ErrInfeasible = &Error{Code: CodeInfeasible}
-	ErrMonopolist = &Error{Code: CodeMonopolist}
-	ErrCancelled  = &Error{Code: CodeCancelled}
-	ErrInternal   = &Error{Code: CodeInternal}
+	ErrInvalid     = &Error{Code: CodeInvalid}
+	ErrNotFound    = &Error{Code: CodeNotFound}
+	ErrConflict    = &Error{Code: CodeConflict}
+	ErrInfeasible  = &Error{Code: CodeInfeasible}
+	ErrMonopolist  = &Error{Code: CodeMonopolist}
+	ErrCancelled   = &Error{Code: CodeCancelled}
+	ErrUnavailable = &Error{Code: CodeUnavailable}
+	ErrInternal    = &Error{Code: CodeInternal}
 )
 
 // New builds a classified error from a format string.

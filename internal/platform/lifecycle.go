@@ -153,19 +153,36 @@ func (p *Platform) Settle(ctx context.Context, cfg Config) (*Report, error) {
 	p.settling = make(chan struct{})
 	p.mu.Unlock()
 
-	// Admission: with a scheduler configured, wait for a settle slot
-	// before running the stages. The campaign is already Closing, so
-	// submissions stay frozen and pollers observe "queued" via the
-	// scheduler while the settle waits its FIFO turn. An abandoned wait
-	// (ctx expiry) is a failed settle: the campaign reverts to Open
-	// below, exactly like a stage failure.
+	// Durability first: log the close request before any work runs.
+	// Submissions are frozen (Submit rejects while Closing), so the
+	// event lands after every accepted submission and before the
+	// settled event — the order replay depends on.
 	var rep *Report
 	var audit *Audit
-	release, err := p.admit(ctx, cfg)
+	var err error
+	if cfg.RecordClosing != nil {
+		err = cfg.RecordClosing()
+	}
 	if err == nil {
-		// No lock held: submissions are frozen (Submit rejects while
-		// Closing), tasks are immutable after New.
-		rep, audit, err = p.runAdmitted(ctx, cfg, release)
+		// Admission: with a scheduler configured, wait for a settle slot
+		// before running the stages. The campaign is already Closing, so
+		// submissions stay frozen and pollers observe "queued" via the
+		// scheduler while the settle waits its FIFO turn. An abandoned
+		// wait (ctx expiry) is a failed settle: the campaign reverts to
+		// Open below, exactly like a stage failure.
+		var release func()
+		release, err = p.admit(ctx, cfg)
+		if err == nil {
+			// No lock held: submissions are frozen, tasks are immutable
+			// after New.
+			rep, audit, err = p.runAdmitted(ctx, cfg, release)
+		}
+	}
+	if err == nil && cfg.RecordSettled != nil {
+		// The report must be durable before the in-memory state admits
+		// the campaign settled; failing here discards the computed
+		// report rather than acknowledging an unpersisted obligation.
+		err = cfg.RecordSettled(rep, audit)
 	}
 
 	p.mu.Lock()
@@ -194,13 +211,19 @@ func (p *Platform) runAdmitted(ctx context.Context, cfg Config, release func()) 
 }
 
 // admit acquires a settle slot from the configured admission scheduler,
-// or returns immediately when none is configured.
+// or returns immediately when none is configured. A backpressure
+// rejection (the scheduler's queue depth bound) keeps its unavailable
+// classification so the wire layer can answer 503 + Retry-After; every
+// other failure is an abandoned wait.
 func (p *Platform) admit(ctx context.Context, cfg Config) (release func(), err error) {
 	if cfg.Admission == nil {
 		return nil, nil
 	}
 	release, err = cfg.Admission.Acquire(ctx, cfg.SettleKey)
 	if err != nil {
+		if imcerr.CodeOf(err) == imcerr.CodeUnavailable {
+			return nil, imcerr.Wrapf(imcerr.CodeUnavailable, err, "platform: settle admission rejected")
+		}
 		return nil, imcerr.Wrapf(imcerr.CodeCancelled, err, "platform: settle admission abandoned")
 	}
 	return release, nil

@@ -71,6 +71,21 @@ type Config struct {
 	// SettleKey identifies this campaign to the Admission scheduler
 	// (queue-position reporting and per-campaign fairness).
 	SettleKey string
+
+	// RecordClosing, when non-nil, is invoked by the settling caller
+	// right after the campaign enters Closing and before admission —
+	// the durability hook that logs a close-requested event. An error
+	// fails the settle before any stage runs (the campaign reverts to
+	// Open). Submissions are already frozen when it runs, so the event
+	// it appends is ordered after every accepted submission.
+	RecordClosing func() error
+	// RecordSettled, when non-nil, is invoked after both stages succeed
+	// and before the campaign transitions to Settled. An error fails
+	// the settle (the campaign reverts to Open and the report is
+	// discarded) — a campaign never reads Settled in memory unless its
+	// report is durable. The campaign is still Closing while it runs,
+	// so no submission or lifecycle event can interleave.
+	RecordSettled func(rep *Report, audit *Audit) error
 }
 
 // DefaultConfig returns the paper's configuration: DATE + ReverseAuction.

@@ -1,0 +1,65 @@
+package registry
+
+import (
+	"fmt"
+	"testing"
+
+	"imc2/internal/platform"
+	"imc2/internal/store"
+)
+
+// benchSubmissions pre-generates n distinct single-task submissions so
+// the measured loop allocates nothing of its own.
+func benchSubmissions(n int) []platform.Submission {
+	subs := make([]platform.Submission, n)
+	for i := range subs {
+		subs[i] = platform.Submission{
+			Worker:  fmt.Sprintf("w%08d", i),
+			Price:   1.5,
+			Answers: map[string]string{"t1": "a"},
+		}
+	}
+	return subs
+}
+
+// BenchmarkSubmitInMemory is the hot submission path without a store —
+// the zero-value default. The durable-store seam must not add
+// allocations here (benchstat against the pre-store baseline).
+func BenchmarkSubmitInMemory(b *testing.B) {
+	r := New()
+	c, err := r.Create("bench", testTasks(), platform.DefaultConfig(), false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	subs := benchSubmissions(b.N)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Submit(subs[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSubmitDurable is the same path with a file store attached
+// (fsync off): the cost of one WAL append per submission.
+func BenchmarkSubmitDurable(b *testing.B) {
+	st, err := store.Open(store.Options{Dir: b.TempDir(), SnapshotEvery: -1, Fsync: store.FsyncNever})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	r := New(WithStore(st))
+	c, err := r.Create("bench", testTasks(), platform.DefaultConfig(), false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	subs := benchSubmissions(b.N)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Submit(subs[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

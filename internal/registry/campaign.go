@@ -3,11 +3,13 @@ package registry
 import (
 	"context"
 	"sync"
+	"time"
 
 	"imc2/internal/imcerr"
 	"imc2/internal/model"
 	"imc2/internal/platform"
 	"imc2/internal/sched"
+	"imc2/internal/store"
 )
 
 // Campaign is one registered campaign: a platform engine plus the
@@ -22,6 +24,18 @@ type Campaign struct {
 	// sched is the registry-wide settle scheduler (nil: settle
 	// unscheduled with a per-settle pool).
 	sched *sched.Scheduler
+	// store, when non-nil, receives this campaign's mutations as durable
+	// events. storeMu orders each accepted mutation with its event
+	// append, so the log records mutations in exactly the order the
+	// in-memory engine accepted them — the property replay depends on.
+	// Lock order: storeMu before the platform's internal lock, never the
+	// reverse (the settle hooks in settleConfig take storeMu while the
+	// platform holds no lock).
+	store   store.Store
+	storeMu sync.Mutex
+	// recoveredAt is when this campaign was rebuilt from the store; zero
+	// for campaigns created in this process.
+	recoveredAt time.Time
 
 	mu        sync.Mutex
 	settleErr error
@@ -48,14 +62,47 @@ func (c *Campaign) NumTasks() int { return c.p.NumTasks() }
 // Submissions counts accepted submissions.
 func (c *Campaign) Submissions() int { return c.p.Submissions() }
 
+// Persisted reports whether this campaign's mutations are durable.
+func (c *Campaign) Persisted() bool { return c.store != nil }
+
+// RecoveredAt reports when this campaign was rebuilt from the durable
+// store; the zero time means it was created in this process.
+func (c *Campaign) RecoveredAt() time.Time { return c.recoveredAt }
+
 // Open publicizes a draft campaign.
-func (c *Campaign) Open() error { return c.p.Open() }
+func (c *Campaign) Open() error {
+	if c.store == nil {
+		return c.p.Open()
+	}
+	c.storeMu.Lock()
+	defer c.storeMu.Unlock()
+	if err := c.p.Open(); err != nil {
+		return err
+	}
+	return c.appendLocked(store.Event{Type: store.EventOpened, Campaign: c.id})
+}
 
 // Cancel abandons a draft or open campaign.
-func (c *Campaign) Cancel() error { return c.p.Cancel() }
+func (c *Campaign) Cancel() error {
+	if c.store == nil {
+		return c.p.Cancel()
+	}
+	c.storeMu.Lock()
+	defer c.storeMu.Unlock()
+	if err := c.p.Cancel(); err != nil {
+		return err
+	}
+	return c.appendLocked(store.Event{Type: store.EventCancelled, Campaign: c.id})
+}
 
 // Submit registers one sealed submission.
-func (c *Campaign) Submit(sub platform.Submission) error { return c.p.Submit(sub) }
+func (c *Campaign) Submit(sub platform.Submission) error {
+	if c.store == nil {
+		return c.p.Submit(sub)
+	}
+	_, err := c.submitDurable([]platform.Submission{sub}, false)
+	return err
+}
 
 // SubmitBatch registers submissions in order until the first failure and
 // reports how many were accepted alongside that failure (all accepted →
@@ -63,12 +110,57 @@ func (c *Campaign) Submit(sub platform.Submission) error { return c.p.Submit(sub
 // rolled back, matching what a worker observes when submitting one by
 // one.
 func (c *Campaign) SubmitBatch(subs []platform.Submission) (int, error) {
+	if c.store == nil {
+		for i, sub := range subs {
+			if err := c.p.Submit(sub); err != nil {
+				return i, imcerr.Wrapf(imcerr.CodeOf(err), err, "registry: batch submission %d (worker %q)", i, sub.Worker)
+			}
+		}
+		return len(subs), nil
+	}
+	return c.submitDurable(subs, true)
+}
+
+// submitDurable applies submissions in order and logs the accepted
+// prefix as one submissions event. storeMu is held across the whole
+// apply+append so a concurrent batch cannot interleave its event
+// between this batch's acceptance and its record — the log must list
+// submissions in acceptance order, because that order fixes worker
+// indexing and therefore the settled outcome.
+func (c *Campaign) submitDurable(subs []platform.Submission, batch bool) (int, error) {
+	c.storeMu.Lock()
+	defer c.storeMu.Unlock()
+	accepted := make([]store.SubmissionRecord, 0, len(subs))
+	var firstErr error
 	for i, sub := range subs {
 		if err := c.p.Submit(sub); err != nil {
-			return i, imcerr.Wrapf(imcerr.CodeOf(err), err, "registry: batch submission %d (worker %q)", i, sub.Worker)
+			if batch {
+				err = imcerr.Wrapf(imcerr.CodeOf(err), err, "registry: batch submission %d (worker %q)", i, sub.Worker)
+			}
+			firstErr = err
+			break
+		}
+		accepted = append(accepted, store.SubmissionFromPlatform(sub))
+	}
+	if len(accepted) > 0 {
+		ev := store.Event{Type: store.EventSubmissions, Campaign: c.id, Submissions: accepted}
+		if err := c.appendLocked(ev); err != nil {
+			// The submissions stand in memory but are not durable; the
+			// store has latched failed, so the caller sees the real
+			// cause instead of a silent durability gap.
+			return len(accepted), err
 		}
 	}
-	return len(subs), nil
+	return len(accepted), firstErr
+}
+
+// appendLocked forwards one event to the store, classifying failures as
+// internal. Callers hold storeMu.
+func (c *Campaign) appendLocked(ev store.Event) error {
+	if err := c.store.Append(ev); err != nil {
+		return imcerr.Wrapf(imcerr.CodeInternal, err, "registry: persisting %s event for %s", ev.Type, c.id)
+	}
+	return nil
 }
 
 // Settle closes the campaign and runs both stages under the campaign's
@@ -90,13 +182,35 @@ func (c *Campaign) Settle(ctx context.Context) (*platform.Report, error) {
 // settleConfig is the campaign's configuration with the registry-wide
 // scheduler injected: the settle must acquire an admission slot under
 // the campaign's ID and run its truth-discovery passes on the shared
-// pool. Without a scheduler it is the configuration as created.
+// pool. Without a scheduler it is the configuration as created. On a
+// durable registry the settle's durability hooks are injected too: the
+// close request is logged before any stage runs, and the settled report
+// is logged before the campaign's in-memory state admits it settled.
 func (c *Campaign) settleConfig() platform.Config {
 	cfg := c.cfg
 	if c.sched != nil {
 		cfg.Admission = c.sched
 		cfg.SettleKey = c.id
 		cfg.TruthOptions.Executor = c.sched.Pool()
+	}
+	if c.store != nil {
+		cfg.RecordClosing = func() error {
+			c.storeMu.Lock()
+			defer c.storeMu.Unlock()
+			return c.appendLocked(store.Event{Type: store.EventCloseRequested, Campaign: c.id})
+		}
+		cfg.RecordSettled = func(rep *platform.Report, audit *platform.Audit) error {
+			c.storeMu.Lock()
+			defer c.storeMu.Unlock()
+			return c.appendLocked(store.Event{
+				Type:     store.EventSettled,
+				Campaign: c.id,
+				Settled: &store.SettledPayload{
+					Report: store.ReportFromPlatform(rep),
+					Audit:  store.AuditFromPlatform(audit),
+				},
+			})
+		}
 	}
 	return cfg
 }

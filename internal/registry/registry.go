@@ -9,6 +9,8 @@ package registry
 
 import (
 	"hash/fnv"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -16,6 +18,7 @@ import (
 	"imc2/internal/model"
 	"imc2/internal/platform"
 	"imc2/internal/sched"
+	"imc2/internal/store"
 )
 
 // numShards spreads campaigns over independent locks. A power of two
@@ -36,6 +39,16 @@ type Registry struct {
 	// for this registry, not injected and possibly shared).
 	sched     *sched.Scheduler
 	ownsSched bool
+
+	// st, when non-nil, receives every campaign mutation as a durable
+	// event (see internal/store). The nil default is the in-memory-only
+	// registry with zero overhead on the hot submission path. ownsStore
+	// records whether Close may close it. storeErr latches a store that
+	// failed to open (the facade's WithStoreDir): campaign creation then
+	// fails loudly instead of silently running without durability.
+	st        store.Store
+	ownsStore bool
+	storeErr  error
 
 	// ordered lists campaigns in creation (= ID) order. Campaigns are
 	// never removed, so pagination is a slice copy — List must not walk
@@ -75,6 +88,32 @@ func WithOwnedScheduler(s *sched.Scheduler) Option {
 	return func(r *Registry) { r.sched, r.ownsSched = s, true }
 }
 
+// WithStore attaches a durable event store: every campaign mutation
+// (creation, open, accepted submissions, close requests, settles,
+// cancels) appends an event before the registry acknowledges it, and
+// a settled report is durable before the campaign reads Settled. The
+// caller keeps ownership: Close the store after the registry's settles
+// drain. Use Restore to rebuild the registry from the store's state
+// before serving traffic.
+func WithStore(st store.Store) Option {
+	return func(r *Registry) { r.st, r.ownsStore = st, false }
+}
+
+// WithOwnedStore attaches a store the registry owns: the registry's
+// Close closes it (flushing the WAL). For stores opened just for this
+// registry, never for one shared across registries.
+func WithOwnedStore(st store.Store) Option {
+	return func(r *Registry) { r.st, r.ownsStore = st, true }
+}
+
+// WithStoreError poisons the registry with a store-open failure:
+// campaign creation returns the error instead of running without
+// durability the operator asked for. The facade's WithStoreDir uses it
+// because functional options cannot return errors.
+func WithStoreError(err error) Option {
+	return func(r *Registry) { r.storeErr = err }
+}
+
 // New returns an empty registry.
 func New(opts ...Option) *Registry {
 	r := &Registry{}
@@ -91,16 +130,23 @@ func New(opts ...Option) *Registry {
 // campaigns settle unscheduled.
 func (r *Registry) Scheduler() *sched.Scheduler { return r.sched }
 
+// Store returns the registry's durable event store, or nil when the
+// registry is in-memory only.
+func (r *Registry) Store() store.Store { return r.st }
+
 // Close releases the registry's resources: it stops the shared worker
-// pool of a scheduler the registry owns (WithOwnedScheduler). It is a
-// no-op without a scheduler, on a second call, and for a
-// caller-provided WithScheduler scheduler — that one may serve other
-// registries, so its owner Closes it. Registries whose scheduler was
-// built internally must be Closed when done with, or the pool's
-// goroutines outlive them.
+// pool of a scheduler the registry owns (WithOwnedScheduler) and closes
+// a store the registry owns (WithOwnedStore), flushing its WAL. It is a
+// no-op without either, on a second call, and for caller-provided
+// scheduler/store — those may serve other registries, so their owners
+// Close them. Callers must let in-flight settles drain before Close, or
+// a settle's final durable write can race the store closing.
 func (r *Registry) Close() {
 	if r.ownsSched && r.sched != nil {
 		r.sched.Close()
+	}
+	if r.ownsStore && r.st != nil {
+		_ = r.st.Close()
 	}
 }
 
@@ -123,6 +169,20 @@ func (r *Registry) nextID() string {
 	return string(buf)
 }
 
+// parseCampaignID inverts nextID: the numeric value behind a
+// registry-minted campaign ID. ok is false for foreign IDs.
+func parseCampaignID(id string) (uint64, bool) {
+	const prefix = "cmp-"
+	if !strings.HasPrefix(id, prefix) || len(id) != len(prefix)+16 {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(id[len(prefix):], 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
 // Create opens a new campaign over the given tasks and registers it. With
 // draft true the campaign starts in StateDraft and must be opened before
 // it accepts submissions.
@@ -139,17 +199,32 @@ func (r *Registry) Create(name string, tasks []model.Task, cfg platform.Config, 
 	if err != nil {
 		return nil, err
 	}
-	return r.adopt(name, p, cfg), nil
+	return r.adopt(name, p, cfg)
 }
 
 // Adopt registers an existing platform as a campaign — the bridge that
 // lets a pre-built single-campaign platform (the /v1 world) live inside
-// the registry.
-func (r *Registry) Adopt(name string, p *platform.Platform, cfg platform.Config) *Campaign {
+// the registry. On a durable registry the platform must be a fresh
+// draft or open campaign: submissions accepted before adoption were
+// never logged, so replaying them is impossible and adopting such a
+// platform is refused rather than persisted lossily.
+func (r *Registry) Adopt(name string, p *platform.Platform, cfg platform.Config) (*Campaign, error) {
+	if r.st != nil {
+		if st := p.State(); st != platform.StateDraft && st != platform.StateOpen {
+			return nil, imcerr.New(imcerr.CodeInvalid, "registry: cannot adopt a %s campaign into a durable registry", st)
+		}
+		if p.Submissions() > 0 {
+			return nil, imcerr.New(imcerr.CodeInvalid,
+				"registry: cannot adopt a campaign with pre-existing submissions into a durable registry")
+		}
+	}
 	return r.adopt(name, p, cfg)
 }
 
-func (r *Registry) adopt(name string, p *platform.Platform, cfg platform.Config) *Campaign {
+func (r *Registry) adopt(name string, p *platform.Platform, cfg platform.Config) (*Campaign, error) {
+	if r.storeErr != nil {
+		return nil, imcerr.Wrapf(imcerr.CodeInternal, r.storeErr, "registry: campaign store unavailable")
+	}
 	// Mint the ID, insert, and append under r.mu so ordered stays in
 	// strict ID order even when adoptions race. The shard insert happens
 	// before the ordered append: a campaign must be Get-able from the
@@ -158,13 +233,32 @@ func (r *Registry) adopt(name string, p *platform.Platform, cfg platform.Config)
 	// acquires r.mu while holding a shard lock.)
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	c := &Campaign{id: r.nextID(), name: name, p: p, cfg: cfg, sched: r.sched}
+	c := &Campaign{id: r.nextID(), name: name, p: p, cfg: cfg, sched: r.sched, store: r.st}
+	if r.st != nil {
+		// Durability before visibility: the created event is on disk
+		// before any client can learn the campaign's ID. Holding r.mu
+		// across the append also serializes created events into ID
+		// order, which replay asserts.
+		ev := store.Event{
+			Type:     store.EventCreated,
+			Campaign: c.id,
+			Created: &store.CreatedPayload{
+				Name:   name,
+				Tasks:  p.Tasks(),
+				Draft:  p.State() == platform.StateDraft,
+				Config: store.ConfigFromPlatform(cfg),
+			},
+		}
+		if err := r.st.Append(ev); err != nil {
+			return nil, imcerr.Wrapf(imcerr.CodeInternal, err, "registry: persisting campaign creation")
+		}
+	}
 	s := r.shardFor(c.id)
 	s.mu.Lock()
 	s.byID[c.id] = c
 	s.mu.Unlock()
 	r.ordered = append(r.ordered, c)
-	return c
+	return c, nil
 }
 
 // Get looks a campaign up by ID.

@@ -119,7 +119,10 @@ func TestAdoptExistingPlatform(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c := r.Adopt("legacy", p, platform.DefaultConfig())
+	c, err := r.Adopt("legacy", p, platform.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
 	got, err := r.Get(c.ID())
 	if err != nil || got.Name() != "legacy" {
 		t.Fatalf("adopted campaign lookup: %v, %v", got, err)

@@ -1,0 +1,129 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"imc2/internal/imcerr"
+)
+
+// TestSchedulerQueueDepthBound fills the admission slots and the queue,
+// then asserts the next Acquire is rejected immediately with
+// ErrQueueFull (classified unavailable) instead of queueing — and that
+// a released slot reopens the door.
+func TestSchedulerQueueDepthBound(t *testing.T) {
+	s := New(Config{Workers: 1, MaxConcurrentSettles: 1, MaxQueuedSettles: 2})
+	defer s.Close()
+	ctx := context.Background()
+
+	release, err := s.Acquire(ctx, "running")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill the queue to its bound with waiters that will be admitted
+	// later (acquired on goroutines; they block until release).
+	type result struct {
+		release func()
+		err     error
+	}
+	results := make(chan result, 2)
+	for i := 0; i < 2; i++ {
+		key := string(rune('a' + i))
+		go func() {
+			r, err := s.Acquire(ctx, key)
+			results <- result{r, err}
+		}()
+	}
+	waitForQueued(t, s, 2)
+
+	// The bound: one more is rejected at the door, immediately.
+	if _, err := s.Acquire(ctx, "overflow"); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow Acquire: %v, want ErrQueueFull", err)
+	}
+	if imcerr.CodeOf(ErrQueueFull) != imcerr.CodeUnavailable {
+		t.Fatalf("ErrQueueFull code = %v, want unavailable", imcerr.CodeOf(ErrQueueFull))
+	}
+	if !s.QueueFull() {
+		t.Fatal("QueueFull() = false with a full queue")
+	}
+	st := s.Stats()
+	if st.TotalOverflowed != 1 || st.MaxQueuedSettles != 2 {
+		t.Fatalf("stats = %+v, want TotalOverflowed=1 MaxQueuedSettles=2", st)
+	}
+
+	// Draining a slot admits the queue head; the queue is no longer at
+	// its bound, so the door reopens.
+	release()
+	r1 := <-results
+	if r1.err != nil {
+		t.Fatal(r1.err)
+	}
+	if s.QueueFull() {
+		t.Fatal("QueueFull() = true after the queue drained below the bound")
+	}
+	// Unwind the remaining waiter, then a retry is admitted instantly.
+	r1.release()
+	r2 := <-results
+	if r2.err != nil {
+		t.Fatal(r2.err)
+	}
+	r2.release()
+	again, err := s.Acquire(ctx, "retry")
+	if err != nil {
+		t.Fatalf("retry after drain: %v", err)
+	}
+	again()
+	if st := s.Stats(); st.ActiveSettles != 0 || st.QueuedSettles != 0 {
+		t.Fatalf("end state = %+v, want drained", st)
+	}
+}
+
+// TestSchedulerUnboundedQueueByDefault: MaxQueuedSettles zero keeps the
+// pre-backpressure behavior — everything queues, nothing overflows.
+func TestSchedulerUnboundedQueueByDefault(t *testing.T) {
+	s := New(Config{Workers: 1, MaxConcurrentSettles: 1})
+	defer s.Close()
+	ctx := context.Background()
+	release, err := s.Acquire(ctx, "running")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const waiters = 16
+	done := make(chan func(), waiters)
+	for i := 0; i < waiters; i++ {
+		go func() {
+			r, err := s.Acquire(ctx, "w")
+			if err != nil {
+				t.Error(err)
+			}
+			done <- r
+		}()
+	}
+	waitForQueued(t, s, waiters)
+	if s.QueueFull() {
+		t.Fatal("QueueFull() = true on an unbounded queue")
+	}
+	release()
+	for i := 0; i < waiters; i++ {
+		r := <-done
+		r()
+	}
+	if st := s.Stats(); st.TotalOverflowed != 0 {
+		t.Fatalf("TotalOverflowed = %d, want 0", st.TotalOverflowed)
+	}
+}
+
+// waitForQueued polls until the scheduler reports n queued settles.
+func waitForQueued(t *testing.T, s *Scheduler, n int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if s.Stats().QueuedSettles >= n {
+			return
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	t.Fatalf("never saw %d queued settles (have %d)", n, s.Stats().QueuedSettles)
+}

@@ -4,7 +4,16 @@ import (
 	"context"
 	"fmt"
 	"sync"
+
+	"imc2/internal/imcerr"
 )
+
+// ErrQueueFull reports an admission queue at its configured depth
+// bound: the settle was rejected immediately instead of queueing
+// unboundedly. It carries imcerr.CodeUnavailable, so the wire layer
+// maps it to 503 with a Retry-After — backpressure, not a failure of
+// the campaign itself.
+var ErrQueueFull error = imcerr.New(imcerr.CodeUnavailable, "sched: settle admission queue is full")
 
 // Config sizes a Scheduler.
 type Config struct {
@@ -14,6 +23,11 @@ type Config struct {
 	// at once; further settles queue FIFO. 0 means no admission bound
 	// (every settle runs immediately, all sharing the bounded pool).
 	MaxConcurrentSettles int
+	// MaxQueuedSettles bounds the admission queue: an Acquire that would
+	// queue deeper than this fails immediately with ErrQueueFull instead
+	// of waiting. 0 means unbounded queueing. Only meaningful with a
+	// concurrency bound (without one nothing ever queues).
+	MaxQueuedSettles int
 }
 
 // AdmissionState is a campaign's position in the settle scheduler.
@@ -57,12 +71,18 @@ type Stats struct {
 	PeakActiveSettles int
 	// PeakQueuedSettles is the historical maximum of QueuedSettles.
 	PeakQueuedSettles int
+	// MaxQueuedSettles is the admission queue depth bound (0 =
+	// unbounded).
+	MaxQueuedSettles int
 	// TotalAdmitted counts settles ever granted a slot.
 	TotalAdmitted int64
 	// TotalCompleted counts settles that released their slot.
 	TotalCompleted int64
 	// TotalRejected counts settles abandoned while queued (ctx expiry).
 	TotalRejected int64
+	// TotalOverflowed counts settles rejected at the door because the
+	// queue was at its depth bound (ErrQueueFull).
+	TotalOverflowed int64
 }
 
 // Scheduler is a registry-wide settle gate: a FIFO admission semaphore
@@ -72,6 +92,7 @@ type Stats struct {
 type Scheduler struct {
 	pool       *Pool
 	maxSettles int
+	maxQueued  int
 
 	mu sync.Mutex
 	// active is the semaphore count: admission slots currently held. It
@@ -97,10 +118,14 @@ func New(cfg Config) *Scheduler {
 	s := &Scheduler{
 		pool:       NewPool(cfg.Workers),
 		maxSettles: cfg.MaxConcurrentSettles,
+		maxQueued:  cfg.MaxQueuedSettles,
 		running:    make(map[string]int),
 	}
 	if s.maxSettles < 0 {
 		s.maxSettles = 0
+	}
+	if s.maxQueued < 0 {
+		s.maxQueued = 0
 	}
 	return s
 }
@@ -115,15 +140,22 @@ func (s *Scheduler) Pool() *Pool { return s.pool }
 func (s *Scheduler) Close() { s.pool.Close() }
 
 // Acquire blocks until the settle identified by key may run, FIFO among
-// waiters, or until ctx expires. The returned release function must be
-// called exactly once when the settle's stages finish. Acquire satisfies
-// platform.Admission.
+// waiters, or until ctx expires. With a queue depth bound configured,
+// an Acquire that would exceed it fails immediately with ErrQueueFull —
+// backpressure instead of an unbounded queue. The returned release
+// function must be called exactly once when the settle's stages finish.
+// Acquire satisfies platform.Admission.
 func (s *Scheduler) Acquire(ctx context.Context, key string) (release func(), err error) {
 	s.mu.Lock()
 	if s.maxSettles == 0 || (len(s.queue) == 0 && s.active < s.maxSettles) {
 		s.admitLocked(key)
 		s.mu.Unlock()
 		return func() { s.release(key) }, nil
+	}
+	if s.maxQueued > 0 && len(s.queue) >= s.maxQueued {
+		s.stats.TotalOverflowed++
+		s.mu.Unlock()
+		return nil, ErrQueueFull
 	}
 	w := &waiter{key: key, ready: make(chan struct{})}
 	s.queue = append(s.queue, w)
@@ -206,7 +238,32 @@ func (s *Scheduler) Stats() Stats {
 	st := s.stats
 	st.Workers = s.pool.Workers()
 	st.MaxConcurrentSettles = s.maxSettles
+	st.MaxQueuedSettles = s.maxQueued
 	st.ActiveSettles = s.active
 	st.QueuedSettles = len(s.queue)
 	return st
+}
+
+// NoteOverflow records a settle rejected before it reached Acquire —
+// the wire layer's synchronous 503 on a full queue — so
+// TotalOverflowed counts every backpressure rejection regardless of
+// which layer issued it.
+func (s *Scheduler) NoteOverflow() {
+	s.mu.Lock()
+	s.stats.TotalOverflowed++
+	s.mu.Unlock()
+}
+
+// QueueFull reports whether a new settle would be rejected right now
+// because the admission queue is at its depth bound. It is advisory —
+// the authoritative check happens inside Acquire — but lets the wire
+// layer answer an overflowing close synchronously with 503 instead of
+// accepting work it already knows will be rejected.
+func (s *Scheduler) QueueFull() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.maxSettles == 0 || s.maxQueued == 0 {
+		return false
+	}
+	return len(s.queue) >= s.maxQueued && s.active >= s.maxSettles
 }

@@ -1,0 +1,57 @@
+// Package store persists campaign registries across process restarts:
+// an event-sourced write-ahead log plus periodic compacted snapshots,
+// with deterministic replay that reconstructs the registry to the exact
+// state it held when the log was written.
+//
+// The paper's incentive guarantees (truthful payments computed from the
+// full submission history) are only meaningful if that history survives
+// failures: a platformd crash must not destroy worker contributions or
+// settled payment obligations. The store makes every campaign mutation
+// durable as an ordered event and every settled report durable before
+// the campaign's in-memory state admits it settled.
+//
+// # Event log
+//
+// Every campaign mutation is one Event: created, opened,
+// submission-batch, close-requested, settled (with the full report and
+// audit), or cancelled. Events carry a strictly increasing sequence
+// number and append to a WAL segment file as length-prefixed,
+// CRC32C-checksummed records (see wal.go for the exact layout). A torn
+// or bit-flipped record is detected by the checksum and never replayed;
+// recovery keeps the longest valid prefix of the log and truncates the
+// damage, which is exactly the write that never finished.
+//
+// # Snapshots and compaction
+//
+// Replaying a long log from the beginning would make restart cost grow
+// without bound, so every SnapshotEvery events the store folds its state
+// into a snapshot file (written atomically: temp file, fsync, rename)
+// and rotates the WAL to a fresh segment. Compaction lags one
+// generation: each new snapshot deletes only what the PREVIOUS snapshot
+// covered, so the previous snapshot and its WAL tail survive as a
+// fallback — if the newest snapshot file is ever unreadable, recovery
+// loads the retained one and replays the still-present tail instead of
+// refusing to start. Recovery loads the newest valid snapshot and
+// replays only the events after it.
+//
+// # Determinism
+//
+// The fold from events to state (State.Apply) is a pure function used
+// identically on the live path and during replay, so the recovered state
+// is bit-identical to the state the process held before it died: same
+// campaign IDs, same submission order (which fixes worker indexing and
+// therefore every downstream computation), same settled reports byte for
+// byte. Campaigns that died mid-settle (close-requested without a
+// settled event) recover as open with their submissions intact and are
+// re-queued through the registry's admission scheduler; the re-run
+// settle is bit-identical to the one that was lost, by the engine's
+// determinism guarantees.
+//
+// # Fsync policy
+//
+// FsyncSettle (the default) flushes every append to the OS and
+// additionally fsyncs on the events that create or discharge payment
+// obligations (created, settled, cancelled) and on every snapshot.
+// FsyncAlways fsyncs every append; FsyncNever never fsyncs (tests and
+// benchmarks only — an OS crash may lose the tail).
+package store

@@ -1,0 +1,262 @@
+package store
+
+import (
+	"imc2/internal/imcerr"
+	"imc2/internal/model"
+	"imc2/internal/platform"
+	"imc2/internal/truth"
+)
+
+// EventType names a campaign mutation. The string values appear verbatim
+// in WAL records and snapshots; they are part of the on-disk format.
+type EventType string
+
+const (
+	// EventCreated registers a campaign: its ID, name, tasks, settle
+	// configuration, and whether it started as a draft.
+	EventCreated EventType = "created"
+	// EventOpened publicizes a draft campaign.
+	EventOpened EventType = "opened"
+	// EventSubmissions appends a batch of accepted sealed submissions, in
+	// acceptance order.
+	EventSubmissions EventType = "submissions"
+	// EventCloseRequested marks the campaign closing: a settle is about
+	// to run. A close-requested with no later settled event is a settle
+	// the process did not survive; recovery re-queues it.
+	EventCloseRequested EventType = "close_requested"
+	// EventSettled finalizes the campaign with its report (and audit).
+	// The event is appended before the in-memory state admits the
+	// campaign settled, so a settled campaign is always durable.
+	EventSettled EventType = "settled"
+	// EventCancelled abandons a draft or open campaign.
+	EventCancelled EventType = "cancelled"
+)
+
+// Event is one durable campaign mutation. Exactly the payload field
+// matching Type is set.
+type Event struct {
+	// Seq is the event's position in the log, strictly increasing from 1.
+	// Append assigns it; events handed to Append carry zero.
+	Seq uint64 `json:"seq"`
+	// Type selects the payload.
+	Type EventType `json:"type"`
+	// Campaign is the registry-assigned campaign ID the event applies to.
+	Campaign string `json:"campaign"`
+
+	Created     *CreatedPayload    `json:"created,omitempty"`
+	Submissions []SubmissionRecord `json:"submissions,omitempty"`
+	Settled     *SettledPayload    `json:"settled,omitempty"`
+}
+
+// CreatedPayload declares a campaign.
+type CreatedPayload struct {
+	Name  string       `json:"name,omitempty"`
+	Tasks []model.Task `json:"tasks"`
+	Draft bool         `json:"draft,omitempty"`
+	// Config is the serializable core of the campaign's settle
+	// configuration (see ConfigRecord for what survives).
+	Config ConfigRecord `json:"config"`
+}
+
+// SettledPayload finalizes a campaign.
+type SettledPayload struct {
+	Report *ReportRecord `json:"report"`
+	Audit  *AuditRecord  `json:"audit,omitempty"`
+}
+
+// SubmissionRecord is the durable form of one sealed submission.
+type SubmissionRecord struct {
+	Worker  string            `json:"worker"`
+	Price   float64           `json:"price"`
+	Answers map[string]string `json:"answers"`
+}
+
+// SubmissionFromPlatform converts a live submission to its durable form.
+func SubmissionFromPlatform(sub platform.Submission) SubmissionRecord {
+	return SubmissionRecord{Worker: sub.Worker, Price: sub.Price, Answers: sub.Answers}
+}
+
+// ToPlatform converts the durable submission back to the live form.
+func (s SubmissionRecord) ToPlatform() platform.Submission {
+	return platform.Submission{Worker: s.Worker, Price: s.Price, Answers: s.Answers}
+}
+
+// ConfigRecord is the serializable core of a platform.Config: everything
+// needed to re-run a recovered campaign's settle bit-identically, as long
+// as the configuration used only the paper's numeric parameters.
+// Function-valued extensions (a Similarity func, a custom FalseValues
+// model, an Executor) cannot be serialized; campaigns configured with
+// them recover with those fields unset. Campaigns created over the wire
+// never carry them — the /v2 surface only exposes the numeric core — so
+// every wire-created campaign round-trips exactly.
+type ConfigRecord struct {
+	TruthMethod     truth.Method       `json:"truth_method"`
+	Mechanism       platform.Mechanism `json:"mechanism"`
+	CopyProb        float64            `json:"copy_prob"`
+	InitAccuracy    float64            `json:"init_accuracy"`
+	PriorDependence float64            `json:"prior_dependence"`
+	MaxIterations   int                `json:"max_iterations"`
+	EDExactLimit    int                `json:"ed_exact_limit,omitempty"`
+	EDSamples       int                `json:"ed_samples,omitempty"`
+	Parallelism     int                `json:"parallelism,omitempty"`
+}
+
+// ConfigFromPlatform extracts the serializable core of a settle
+// configuration.
+func ConfigFromPlatform(cfg platform.Config) ConfigRecord {
+	return ConfigRecord{
+		TruthMethod:     cfg.TruthMethod,
+		Mechanism:       cfg.Mechanism,
+		CopyProb:        cfg.TruthOptions.CopyProb,
+		InitAccuracy:    cfg.TruthOptions.InitAccuracy,
+		PriorDependence: cfg.TruthOptions.PriorDependence,
+		MaxIterations:   cfg.TruthOptions.MaxIterations,
+		EDExactLimit:    cfg.TruthOptions.EDExactLimit,
+		EDSamples:       cfg.TruthOptions.EDSamples,
+		Parallelism:     cfg.TruthOptions.Parallelism,
+	}
+}
+
+// ToPlatform rebuilds a settle configuration from the durable core.
+// Fields with no serializable form (Similarity, FalseValues, Executor,
+// Admission) come back zero; the registry re-injects scheduler seams at
+// settle time exactly as it does for campaigns created live.
+func (c ConfigRecord) ToPlatform() platform.Config {
+	cfg := platform.DefaultConfig()
+	cfg.TruthMethod = c.TruthMethod
+	cfg.Mechanism = c.Mechanism
+	cfg.TruthOptions.CopyProb = c.CopyProb
+	cfg.TruthOptions.InitAccuracy = c.InitAccuracy
+	cfg.TruthOptions.PriorDependence = c.PriorDependence
+	cfg.TruthOptions.MaxIterations = c.MaxIterations
+	cfg.TruthOptions.EDExactLimit = c.EDExactLimit
+	cfg.TruthOptions.EDSamples = c.EDSamples
+	cfg.TruthOptions.Parallelism = c.Parallelism
+	return cfg
+}
+
+// ReportRecord is the durable form of a settled report.
+type ReportRecord struct {
+	Truth           map[string]string  `json:"truth"`
+	Winners         []string           `json:"winners"`
+	Payments        map[string]float64 `json:"payments"`
+	WorkerAccuracy  map[string]float64 `json:"worker_accuracy"`
+	SocialCost      float64            `json:"social_cost"`
+	TotalPayment    float64            `json:"total_payment"`
+	PlatformUtility float64            `json:"platform_utility"`
+	TruthIterations int                `json:"truth_iterations"`
+	Converged       bool               `json:"converged"`
+}
+
+// ReportFromPlatform converts a live report to its durable form. Nil in,
+// nil out.
+func ReportFromPlatform(rep *platform.Report) *ReportRecord {
+	if rep == nil {
+		return nil
+	}
+	return &ReportRecord{
+		Truth:           rep.Truth,
+		Winners:         rep.Winners,
+		Payments:        rep.Payments,
+		WorkerAccuracy:  rep.WorkerAccuracy,
+		SocialCost:      rep.SocialCost,
+		TotalPayment:    rep.TotalPayment,
+		PlatformUtility: rep.PlatformUtility,
+		TruthIterations: rep.TruthIterations,
+		Converged:       rep.Converged,
+	}
+}
+
+// ToPlatform converts the durable report back to the live form. Nil in,
+// nil out.
+func (r *ReportRecord) ToPlatform() *platform.Report {
+	if r == nil {
+		return nil
+	}
+	return &platform.Report{
+		Truth:           r.Truth,
+		Winners:         r.Winners,
+		Payments:        r.Payments,
+		WorkerAccuracy:  r.WorkerAccuracy,
+		SocialCost:      r.SocialCost,
+		TotalPayment:    r.TotalPayment,
+		PlatformUtility: r.PlatformUtility,
+		TruthIterations: r.TruthIterations,
+		Converged:       r.Converged,
+	}
+}
+
+// SuspectPairRecord is the durable form of one audit pair.
+type SuspectPairRecord struct {
+	WorkerA string  `json:"worker_a"`
+	WorkerB string  `json:"worker_b"`
+	AtoB    float64 `json:"a_to_b"`
+	BtoA    float64 `json:"b_to_a"`
+}
+
+// AuditRecord is the durable form of a copier audit.
+type AuditRecord struct {
+	Pairs        []SuspectPairRecord `json:"pairs,omitempty"`
+	CopierScores map[string]float64  `json:"copier_scores,omitempty"`
+}
+
+// AuditFromPlatform converts a live audit to its durable form. Nil in,
+// nil out.
+func AuditFromPlatform(a *platform.Audit) *AuditRecord {
+	if a == nil {
+		return nil
+	}
+	rec := &AuditRecord{CopierScores: a.CopierScores}
+	for _, pr := range a.Pairs {
+		rec.Pairs = append(rec.Pairs, SuspectPairRecord{
+			WorkerA: pr.WorkerA, WorkerB: pr.WorkerB, AtoB: pr.AtoB, BtoA: pr.BtoA,
+		})
+	}
+	return rec
+}
+
+// ToPlatform converts the durable audit back to the live form. Nil in,
+// nil out.
+func (a *AuditRecord) ToPlatform() *platform.Audit {
+	if a == nil {
+		return nil
+	}
+	out := &platform.Audit{CopierScores: a.CopierScores}
+	for _, pr := range a.Pairs {
+		out.Pairs = append(out.Pairs, platform.SuspectPair{
+			WorkerA: pr.WorkerA, WorkerB: pr.WorkerB, AtoB: pr.AtoB, BtoA: pr.BtoA,
+		})
+	}
+	return out
+}
+
+// validate checks the event's structural invariants before it is encoded
+// or applied: the type is known, the campaign ID is present, and exactly
+// the matching payload is set.
+func (ev Event) validate() error {
+	if ev.Campaign == "" {
+		return imcerr.New(imcerr.CodeInvalid, "store: event %q has no campaign ID", ev.Type)
+	}
+	switch ev.Type {
+	case EventCreated:
+		if ev.Created == nil {
+			return imcerr.New(imcerr.CodeInvalid, "store: created event without payload")
+		}
+		if len(ev.Created.Tasks) == 0 {
+			return imcerr.New(imcerr.CodeInvalid, "store: created event for %q has no tasks", ev.Campaign)
+		}
+	case EventSubmissions:
+		if len(ev.Submissions) == 0 {
+			return imcerr.New(imcerr.CodeInvalid, "store: submissions event for %q is empty", ev.Campaign)
+		}
+	case EventSettled:
+		if ev.Settled == nil || ev.Settled.Report == nil {
+			return imcerr.New(imcerr.CodeInvalid, "store: settled event for %q without report", ev.Campaign)
+		}
+	case EventOpened, EventCloseRequested, EventCancelled:
+		// No payload.
+	default:
+		return imcerr.New(imcerr.CodeInvalid, "store: unknown event type %q", ev.Type)
+	}
+	return nil
+}

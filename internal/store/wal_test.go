@@ -1,0 +1,105 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestRecordRoundTrip(t *testing.T) {
+	payloads := [][]byte{
+		[]byte(`{"seq":1}`),
+		{},
+		bytes.Repeat([]byte{0xab}, 4096),
+	}
+	var buf []byte
+	for _, p := range payloads {
+		var err error
+		buf, err = appendRecord(buf, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := bytes.NewReader(buf)
+	for i, want := range payloads {
+		got, err := ReadRecord(r)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("record %d: got %d bytes, want %d", i, len(got), len(want))
+		}
+	}
+	if _, err := ReadRecord(r); err != io.EOF {
+		t.Fatalf("after last record: err = %v, want io.EOF", err)
+	}
+}
+
+func TestRecordTornTailIsCorrupt(t *testing.T) {
+	full, err := appendRecord(nil, []byte(`{"seq":1,"type":"opened"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every strict prefix except the empty one must read as corrupt —
+	// the empty prefix is a clean EOF (no record was ever started).
+	for cut := 1; cut < len(full); cut++ {
+		_, err := ReadRecord(bytes.NewReader(full[:cut]))
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("prefix of %d/%d bytes: err = %v, want ErrCorrupt", cut, len(full), err)
+		}
+	}
+	if _, err := ReadRecord(bytes.NewReader(nil)); err != io.EOF {
+		t.Fatalf("empty input: err = %v, want io.EOF", err)
+	}
+}
+
+func TestRecordBitFlipIsCorrupt(t *testing.T) {
+	payload := []byte(`{"seq":7,"type":"submissions","campaign":"cmp-1"}`)
+	full, err := appendRecord(nil, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(full); i++ {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), full...)
+			mut[i] ^= 1 << bit
+			got, err := ReadRecord(bytes.NewReader(mut))
+			if err == nil && bytes.Equal(got, payload) {
+				t.Fatalf("flip of byte %d bit %d went undetected", i, bit)
+			}
+		}
+	}
+}
+
+func TestRecordImpossibleLength(t *testing.T) {
+	var hdr [recordHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], maxRecordSize+1)
+	_, err := ReadRecord(bytes.NewReader(hdr[:]))
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("oversized length: err = %v, want ErrCorrupt", err)
+	}
+	if _, err := appendRecord(nil, make([]byte, maxRecordSize+1)); err == nil {
+		t.Fatal("appendRecord accepted an oversized payload")
+	}
+}
+
+func TestWALAndSnapshotNames(t *testing.T) {
+	for _, seq := range []uint64{1, 0xdead, 1 << 40} {
+		if got, ok := parseWALName(walName(seq)); !ok || got != seq {
+			t.Fatalf("parseWALName(walName(%d)) = %d, %v", seq, got, ok)
+		}
+		if got, ok := parseSnapName(snapName(seq)); !ok || got != seq {
+			t.Fatalf("parseSnapName(snapName(%d)) = %d, %v", seq, got, ok)
+		}
+	}
+	for _, name := range []string{"wal-zzz.log", "snap-1.json", "wal-0000000000000001.bak", "other.txt", walName(1) + ".tmp"} {
+		if _, ok := parseWALName(name); ok {
+			t.Fatalf("parseWALName accepted %q", name)
+		}
+		if _, ok := parseSnapName(name); ok {
+			t.Fatalf("parseSnapName accepted %q", name)
+		}
+	}
+}

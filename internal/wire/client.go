@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"time"
 
 	"imc2/internal/imcerr"
@@ -82,6 +83,10 @@ type APIError struct {
 	Status  int
 	Code    string
 	Message string
+	// RetryAfter is the server's backoff hint from a Retry-After header
+	// (zero when the response carried none). Backpressure rejections
+	// (503 with code "unavailable") always carry one.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
@@ -126,7 +131,13 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		if err := json.NewDecoder(resp.Body).Decode(&eb); err == nil && eb.Error != "" {
 			msg = eb.Error
 		}
-		return &APIError{Status: resp.StatusCode, Code: eb.Code, Message: msg}
+		apiErr := &APIError{Status: resp.StatusCode, Code: eb.Code, Message: msg}
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+				apiErr.RetryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		return apiErr
 	}
 	if out != nil {
 		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {

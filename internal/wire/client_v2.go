@@ -2,6 +2,7 @@ package wire
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net/url"
 	"time"
@@ -88,12 +89,42 @@ func (c *Client) SubmitBatch(ctx context.Context, id string, subs []Submission) 
 // CloseCampaign asks the platform to settle the campaign asynchronously;
 // the returned snapshot normally reads "closing". Poll Campaign (or use
 // AwaitSettled) to observe the outcome.
+//
+// A backpressure rejection (503 with code "unavailable" — the settle
+// admission queue is at its depth bound) is retried automatically,
+// honoring the server's Retry-After hint, until ctx expires; every
+// other failure returns immediately.
 func (c *Client) CloseCampaign(ctx context.Context, id string) (*CampaignInfo, error) {
-	var out CampaignInfo
-	if err := c.do(ctx, "POST", "/v2/campaigns/"+url.PathEscape(id)+"/close", nil, &out); err != nil {
-		return nil, err
+	for {
+		var out CampaignInfo
+		err := c.do(ctx, "POST", "/v2/campaigns/"+url.PathEscape(id)+"/close", nil, &out)
+		if err == nil {
+			return &out, nil
+		}
+		backoff, retryable := retryAfter(err)
+		if !retryable {
+			return nil, err
+		}
+		select {
+		case <-ctx.Done():
+			return nil, imcerr.Wrapf(imcerr.CodeUnavailable, err, "closing %s: gave up retrying", id)
+		case <-time.After(backoff):
+		}
 	}
-	return &out, nil
+}
+
+// retryAfter classifies an error as a retryable backpressure rejection
+// and extracts the server's backoff hint (defaulting to one second when
+// the hint is absent or zero).
+func retryAfter(err error) (backoff time.Duration, retryable bool) {
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != string(imcerr.CodeUnavailable) {
+		return 0, false
+	}
+	if apiErr.RetryAfter > 0 {
+		return apiErr.RetryAfter, true
+	}
+	return time.Second, true
 }
 
 // AwaitSettled polls a closing campaign until it settles (snapshot
@@ -140,6 +171,16 @@ func (c *Client) CampaignReport(ctx context.Context, id string) (*Report, error)
 func (c *Client) SchedulerStats(ctx context.Context) (*SchedulerStats, error) {
 	var out SchedulerStats
 	if err := c.do(ctx, "GET", "/v2/scheduler", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// StoreStats fetches the durable campaign store's counters; Enabled is
+// false when the server runs in-memory only.
+func (c *Client) StoreStats(ctx context.Context) (*StoreStats, error) {
+	var out StoreStats
+	if err := c.do(ctx, "GET", "/v2/store", nil, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil

@@ -18,6 +18,7 @@
 //	GET  /v2/campaigns/{id}/report       settled report
 //	GET  /v2/campaigns/{id}/audit        copier audit of a settled campaign
 //	GET  /v2/scheduler                   settle-scheduler stats (admission, queue)
+//	GET  /v2/store                       durable-store stats (WAL, snapshots, recovery)
 //	GET  /v2/healthz                     liveness
 //
 // When the registry carries a settle scheduler (internal/sched), closes
@@ -26,6 +27,14 @@
 // reports settle_admission ("queued"/"running") plus the 1-based
 // settle_queue_position while waiting. Results are bit-identical with
 // and without the scheduler — it bounds resources, never outcomes.
+// With a queue depth bound configured, an overflowing close is rejected
+// with 503 and a Retry-After header instead of queueing unboundedly;
+// the typed client retries automatically within its context budget.
+//
+// When the registry carries a durable store (internal/store), every
+// campaign mutation is logged before it is acknowledged, campaign
+// snapshots carry persisted/recovered_at, and GET /v2/store serves the
+// WAL and snapshot counters. See API.md's "Durability" section.
 //
 // The original single-campaign /v1 endpoints remain as a compatibility
 // shim over a designated default campaign:
@@ -46,6 +55,7 @@ import (
 	"encoding/json"
 	"log"
 	"net/http"
+	"strconv"
 	"sync"
 
 	"imc2/internal/imcerr"
@@ -98,7 +108,12 @@ type Server struct {
 // the /v2 protocol is available too. logf may be nil to silence logging.
 func NewServer(p *platform.Platform, cfg platform.Config, logf func(string, ...any)) *Server {
 	reg := registry.New()
-	c := reg.Adopt("default", p, cfg)
+	// Adoption into a fresh in-memory registry cannot fail: there is no
+	// store to refuse the platform and no storeErr to surface.
+	c, err := reg.Adopt("default", p, cfg)
+	if err != nil {
+		panic("wire: adopting into a fresh in-memory registry failed: " + err.Error())
+	}
 	return NewRegistryServer(reg, c.ID(), cfg, logf)
 }
 
@@ -117,10 +132,15 @@ func NewRegistryServer(reg *registry.Registry, defaultID string, cfg platform.Co
 // Registry exposes the campaign store the server serves.
 func (s *Server) Registry() *registry.Registry { return s.reg }
 
-// Shutdown aborts in-flight asynchronous settles and waits for them to
-// drain, bounded by ctx.
+// Shutdown drains in-flight asynchronous settles and waits for them to
+// finish, bounded by ctx. Draining comes first — cancelling before the
+// wait (the old behavior) could abort a settle between computing its
+// report and recording its final state, so a durable registry could
+// lose a settle the client was about to observe. Only when ctx expires
+// are the stragglers cancelled (they stop at the next stage boundary)
+// and awaited, so no settle goroutine ever outlives Shutdown — the
+// caller may close the campaign store immediately after it returns.
 func (s *Server) Shutdown(ctx context.Context) error {
-	s.cancel()
 	done := make(chan struct{})
 	go func() {
 		s.settles.Wait()
@@ -128,9 +148,38 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.cancel()
 		return nil
 	case <-ctx.Done():
+		// Out of patience: abort the remaining settles and wait for
+		// them to observe the cancellation. They check ctx at stage
+		// boundaries, so this second wait terminates.
+		s.cancel()
+		<-done
 		return ctx.Err()
+	}
+}
+
+// ResumeSettles re-queues recovered campaigns whose settle the previous
+// process did not survive (registry.Restore's pending list): each runs
+// through the identical asynchronous path a live close uses — same
+// admission queue, same server-lifetime bound, same settle_error
+// surfacing — so a restart finishes exactly the work a crash
+// interrupted.
+func (s *Server) ResumeSettles(pending []*registry.Campaign) {
+	for _, c := range pending {
+		c := c
+		s.logf("campaign %s: re-queueing settle interrupted by restart", c.ID())
+		s.settles.Add(1)
+		go func() {
+			defer s.settles.Done()
+			rep, err := c.Settle(s.ctx)
+			if err != nil {
+				s.logf("campaign %s recovered settle failed: %v", c.ID(), err)
+				return
+			}
+			s.logf("campaign %s settled after recovery: winners=%d social_cost=%.3f", c.ID(), len(rep.Winners), rep.SocialCost)
+		}()
 	}
 }
 
@@ -160,6 +209,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v2/campaigns/{id}/report", s.handleCampaignReport)
 	mux.HandleFunc("GET /v2/campaigns/{id}/audit", s.handleCampaignAudit)
 	mux.HandleFunc("GET /v2/scheduler", s.handleSchedulerStats)
+	mux.HandleFunc("GET /v2/store", s.handleStoreStats)
 	mux.HandleFunc("GET /v2/healthz", healthz)
 	return mux
 }
@@ -303,15 +353,24 @@ func statusOf(code imcerr.Code) int {
 		return http.StatusConflict
 	case imcerr.CodeInfeasible, imcerr.CodeMonopolist:
 		return http.StatusUnprocessableEntity
-	case imcerr.CodeCancelled:
+	case imcerr.CodeCancelled, imcerr.CodeUnavailable:
 		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError
 	}
 }
 
+// retryAfterSeconds is the backoff hint attached to backpressure
+// rejections. A settle takes seconds at realistic scale, so one second
+// spreads retries without making well-behaved clients wait long.
+const retryAfterSeconds = 1
+
 func writeError(w http.ResponseWriter, err error) {
 	code := imcerr.CodeOf(err)
+	if code == imcerr.CodeUnavailable {
+		// Backpressure: tell retrying clients when to come back.
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+	}
 	writeJSON(w, statusOf(code), errorBody{Error: err.Error(), Code: string(code)})
 }
 

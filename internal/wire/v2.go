@@ -5,6 +5,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"time"
 
 	"imc2/internal/gen"
 	"imc2/internal/imcerr"
@@ -13,6 +14,7 @@ import (
 	"imc2/internal/randx"
 	"imc2/internal/registry"
 	"imc2/internal/sched"
+	"imc2/internal/store"
 )
 
 // Task is the wire form of a published task.
@@ -37,6 +39,14 @@ type CampaignInfo struct {
 	// SettleQueuePosition is the 1-based FIFO position while
 	// SettleAdmission is "queued" (0 otherwise).
 	SettleQueuePosition int `json:"settle_queue_position,omitempty"`
+	// Persisted reports that the campaign's mutations are durable: every
+	// accepted submission and lifecycle transition was logged to the
+	// registry's store before it was acknowledged.
+	Persisted bool `json:"persisted,omitempty"`
+	// RecoveredAt (RFC 3339) is when this campaign was rebuilt from the
+	// durable store after a restart; empty for campaigns created by the
+	// current process.
+	RecoveredAt string `json:"recovered_at,omitempty"`
 }
 
 // SchedulerStats is the wire view of the registry-wide settle scheduler
@@ -49,16 +59,62 @@ type SchedulerStats struct {
 	Workers int `json:"workers,omitempty"`
 	// MaxConcurrentSettles is the admission bound (0 = unlimited).
 	MaxConcurrentSettles int `json:"max_concurrent_settles,omitempty"`
-	ActiveSettles        int `json:"active_settles"`
-	QueuedSettles        int `json:"queued_settles"`
-	PeakActiveSettles    int `json:"peak_active_settles"`
-	PeakQueuedSettles    int `json:"peak_queued_settles"`
+	// MaxQueuedSettles is the admission queue depth bound (0 =
+	// unbounded); an overflowing close is rejected with 503.
+	MaxQueuedSettles  int `json:"max_queued_settles,omitempty"`
+	ActiveSettles     int `json:"active_settles"`
+	QueuedSettles     int `json:"queued_settles"`
+	PeakActiveSettles int `json:"peak_active_settles"`
+	PeakQueuedSettles int `json:"peak_queued_settles"`
 	// TotalAdmitted/TotalCompleted/TotalRejected count settles granted a
 	// slot, finished, and abandoned while queued since the server
-	// started.
-	TotalAdmitted  int64 `json:"total_admitted"`
-	TotalCompleted int64 `json:"total_completed"`
-	TotalRejected  int64 `json:"total_rejected"`
+	// started. TotalOverflowed counts settles rejected at the door by
+	// the queue depth bound.
+	TotalAdmitted   int64 `json:"total_admitted"`
+	TotalCompleted  int64 `json:"total_completed"`
+	TotalRejected   int64 `json:"total_rejected"`
+	TotalOverflowed int64 `json:"total_overflowed"`
+}
+
+// StoreStats is the wire view of the registry's durable campaign store
+// (GET /v2/store). With no store configured only Enabled=false is
+// returned: campaigns then live in process memory alone and do not
+// survive a restart.
+type StoreStats struct {
+	Enabled bool `json:"enabled"`
+	// Dir is the store's data directory.
+	Dir string `json:"dir,omitempty"`
+	// Fsync is the WAL fsync policy ("settle", "always", "never").
+	Fsync string `json:"fsync,omitempty"`
+	// SnapshotEvery is the automatic snapshot interval in events (0:
+	// automatic snapshots disabled).
+	SnapshotEvery int `json:"snapshot_every,omitempty"`
+	// LastSeq is the sequence number of the newest durable event.
+	LastSeq uint64 `json:"last_seq"`
+	// AppendedEvents counts events logged by this process;
+	// RecoveredEvents counts events replayed from disk at startup.
+	AppendedEvents  uint64 `json:"appended_events"`
+	RecoveredEvents uint64 `json:"recovered_events"`
+	// RecoveredCampaigns counts campaigns rebuilt at startup, and
+	// RecoveredAt (RFC 3339) stamps when; both empty on a fresh store.
+	RecoveredCampaigns int    `json:"recovered_campaigns,omitempty"`
+	RecoveredAt        string `json:"recovered_at,omitempty"`
+	// SnapshotsWritten counts snapshots folded by this process;
+	// LastSnapshotSeq is the last event covered by the newest snapshot.
+	SnapshotsWritten uint64 `json:"snapshots_written"`
+	LastSnapshotSeq  uint64 `json:"last_snapshot_seq"`
+	// WALBytes is the size of the live WAL tail (events newer than the
+	// last snapshot).
+	WALBytes int64 `json:"wal_bytes"`
+	// Campaigns counts campaign records in the durable state.
+	Campaigns int `json:"campaigns"`
+	// Failed carries the error that latched the store into a failed
+	// state (appends are refused); empty while healthy.
+	Failed string `json:"failed,omitempty"`
+	// SnapshotError is the most recent automatic-snapshot failure.
+	// Non-fatal: appends are still durable; only restart-time replay
+	// bounding is degraded until a snapshot succeeds.
+	SnapshotError string `json:"snapshot_error,omitempty"`
 }
 
 // CreateCampaignRequest declares a new campaign: either an explicit task
@@ -135,6 +191,10 @@ func (s *Server) campaignInfo(c *registry.Campaign) CampaignInfo {
 		info.SettleAdmission = st.String()
 		info.SettleQueuePosition = pos
 	}
+	info.Persisted = c.Persisted()
+	if t := c.RecoveredAt(); !t.IsZero() {
+		info.RecoveredAt = t.UTC().Format(time.RFC3339)
+	}
 	return info
 }
 
@@ -151,6 +211,7 @@ func (s *Server) handleSchedulerStats(w http.ResponseWriter, r *http.Request) {
 		Enabled:              true,
 		Workers:              st.Workers,
 		MaxConcurrentSettles: st.MaxConcurrentSettles,
+		MaxQueuedSettles:     st.MaxQueuedSettles,
 		ActiveSettles:        st.ActiveSettles,
 		QueuedSettles:        st.QueuedSettles,
 		PeakActiveSettles:    st.PeakActiveSettles,
@@ -158,7 +219,40 @@ func (s *Server) handleSchedulerStats(w http.ResponseWriter, r *http.Request) {
 		TotalAdmitted:        st.TotalAdmitted,
 		TotalCompleted:       st.TotalCompleted,
 		TotalRejected:        st.TotalRejected,
+		TotalOverflowed:      st.TotalOverflowed,
 	})
+}
+
+// handleStoreStats serves the durable campaign store's counters; a
+// registry without a store answers Enabled=false.
+func (s *Server) handleStoreStats(w http.ResponseWriter, r *http.Request) {
+	type statser interface{ Stats() store.Stats }
+	fs, ok := s.reg.Store().(statser)
+	if !ok {
+		writeJSON(w, http.StatusOK, StoreStats{})
+		return
+	}
+	st := fs.Stats()
+	out := StoreStats{
+		Enabled:            true,
+		Dir:                st.Dir,
+		Fsync:              st.Fsync.String(),
+		SnapshotEvery:      st.SnapshotEvery,
+		LastSeq:            st.LastSeq,
+		AppendedEvents:     st.AppendedEvents,
+		RecoveredEvents:    st.RecoveredEvents,
+		RecoveredCampaigns: st.RecoveredCampaigns,
+		SnapshotsWritten:   st.SnapshotsWritten,
+		LastSnapshotSeq:    st.LastSnapshotSeq,
+		WALBytes:           st.WALBytes,
+		Campaigns:          st.Campaigns,
+		Failed:             st.Failed,
+		SnapshotError:      st.SnapshotError,
+	}
+	if !st.RecoveredAt.IsZero() {
+		out.RecoveredAt = st.RecoveredAt.UTC().Format(time.RFC3339)
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // campaign resolves the {id} path parameter.
@@ -337,6 +431,19 @@ func (s *Server) handleCloseCampaign(w http.ResponseWriter, r *http.Request) {
 	}
 	if c.Submissions() == 0 {
 		writeError(w, imcerr.New(imcerr.CodeInfeasible, "platform: no submissions"))
+		return
+	}
+	// Backpressure: when the settle admission queue is at its depth
+	// bound, reject the close synchronously with 503 + Retry-After
+	// instead of accepting work the scheduler will refuse. The check is
+	// advisory (closes racing past it are still rejected inside the
+	// scheduler's Acquire and surface via settle_error); its job is to
+	// give well-behaved clients a retryable answer before the campaign
+	// flips to closing.
+	if sc := s.reg.Scheduler(); sc != nil && sc.QueueFull() {
+		sc.NoteOverflow()
+		writeError(w, imcerr.New(imcerr.CodeUnavailable,
+			"settle queue is full (%d queued); retry later", sc.Stats().QueuedSettles))
 		return
 	}
 	// Forget any previous attempt's failure before the 202 goes out, so
