@@ -174,7 +174,7 @@ func BenchmarkDiscoverParallel(b *testing.B) { benchDiscoverFig5(b, 0) }
 // versus one, rather than asserting it. Stage 2 is pinned to GreedyBid
 // so the number tracks the scheduled stage — truth discovery — not the
 // auction's critical-payment search.
-func benchSettleConcurrent(b *testing.B, settles int) {
+func benchSettleConcurrent(b *testing.B, settles int, instrumented bool) {
 	c := benchFig5Campaign(b)
 	ds := c.Dataset
 	subs := make([]imc2.Submission, ds.NumWorkers())
@@ -194,8 +194,15 @@ func benchSettleConcurrent(b *testing.B, settles int) {
 	b.ResetTimer()
 	for it := 0; it < b.N; it++ {
 		b.StopTimer()
-		scheduler := imc2.NewSettleScheduler(imc2.SettleSchedulerConfig{MaxConcurrentSettles: 2})
-		reg := imc2.NewCampaignRegistry(imc2.WithSettleScheduler(scheduler))
+		// The instrumented variant threads one metrics registry through
+		// the scheduler and the campaign registry (platformd's wiring),
+		// so benchstat against the plain variant prices the telemetry.
+		var o *imc2.MetricsRegistry
+		if instrumented {
+			o = imc2.NewMetricsRegistry()
+		}
+		scheduler := imc2.NewSettleScheduler(imc2.SettleSchedulerConfig{MaxConcurrentSettles: 2, Obs: o})
+		reg := imc2.NewCampaignRegistry(imc2.WithSettleScheduler(scheduler), imc2.WithObservability(o))
 		camps := make([]*imc2.HostedCampaign, settles)
 		for k := range camps {
 			camp, err := reg.Create(fmt.Sprintf("bench-%d", k), ds.Tasks(), cfg, false)
@@ -239,9 +246,19 @@ func benchSettleConcurrent(b *testing.B, settles int) {
 func BenchmarkSettleConcurrent(b *testing.B) {
 	for _, settles := range []int{1, 4, 8} {
 		b.Run(fmt.Sprintf("settles=%d", settles), func(b *testing.B) {
-			benchSettleConcurrent(b, settles)
+			benchSettleConcurrent(b, settles, false)
 		})
 	}
+}
+
+// BenchmarkSettleConcurrentInstrumented is the same shape with the full
+// observability layer on (settle tracing, scheduler and registry
+// metrics) — benchstat against BenchmarkSettleConcurrent/settles=4
+// bounds what telemetry costs a fig5-scale settle.
+func BenchmarkSettleConcurrentInstrumented(b *testing.B) {
+	b.Run("settles=4", func(b *testing.B) {
+		benchSettleConcurrent(b, 4, true)
+	})
 }
 
 // BenchmarkCampaignGeneration tracks the workload generator itself at the

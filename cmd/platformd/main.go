@@ -28,24 +28,33 @@
 // restart resumes instead of duplicating. Graceful shutdown drains
 // in-flight settles, then flushes and closes the store.
 //
+// With -metrics-addr the daemon opens a second listener exposing the
+// whole platform's metrics (imc2_wire_*, imc2_sched_*, imc2_store_*,
+// imc2_registry_*, imc2_truth_*) as Prometheus text on GET /metrics;
+// -pprof additionally mounts net/http/pprof on that listener. Logs are
+// structured (log/slog); -log-format selects text or json.
+//
 // Usage:
 //
 //	platformd -addr :8080 -seed 42 -workers 40 -tasks 60 -campaigns 3 -max-settles 2
 //	platformd -addr :8080 -data-dir /var/lib/imc2 -snapshot-every 256 -fsync settle
+//	platformd -addr :8080 -metrics-addr 127.0.0.1:9090 -pprof -log-format json
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"imc2/internal/gen"
+	"imc2/internal/obs"
 	"imc2/internal/platform"
 	"imc2/internal/randx"
 	"imc2/internal/registry"
@@ -82,6 +91,10 @@ func run(args []string) error {
 		dataDir       = fs.String("data-dir", "", "durable campaign store directory (empty = in-memory only; state dies with the process)")
 		snapshotEvery = fs.Int("snapshot-every", 256, "fold a store snapshot and compact the WAL every N events (-1 = only on shutdown)")
 		fsyncPolicy   = fs.String("fsync", "settle", "WAL fsync policy: settle (fsync on created/settled/cancelled), always, never")
+
+		metricsAddr = fs.String("metrics-addr", "", "serve Prometheus text on GET /metrics at this address (empty = metrics disabled)")
+		pprofOn     = fs.Bool("pprof", false, "also mount net/http/pprof under /debug/pprof/ on the -metrics-addr listener")
+		logFormat   = fs.String("log-format", "text", "structured log format: text or json")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -102,6 +115,13 @@ func run(args []string) error {
 	if !ok {
 		return fmt.Errorf("unknown -fsync policy %q (settle, always, never)", *fsyncPolicy)
 	}
+	if *pprofOn && *metricsAddr == "" {
+		return fmt.Errorf("-pprof requires -metrics-addr (pprof is served on the metrics listener)")
+	}
+	slogger, err := newLogger(*logFormat)
+	if err != nil {
+		return err
+	}
 
 	spec, err := campaignSpec(*workers, *tasks, *copiers)
 	if err != nil {
@@ -120,7 +140,15 @@ func run(args []string) error {
 		return err
 	}
 
-	logger := log.New(os.Stderr, "platformd ", log.LstdFlags)
+	logf := func(format string, args ...any) { slogger.Info(fmt.Sprintf(format, args...)) }
+	// One metrics registry for the whole process: every subsystem hangs
+	// its instruments off it, and the -metrics-addr listener scrapes it.
+	// Nil (metrics disabled) keeps every hot path uninstrumented — the
+	// subsystems skip even the clock reads.
+	var obsReg *obs.Registry
+	if *metricsAddr != "" {
+		obsReg = obs.NewRegistry()
+	}
 	// One settle scheduler for the whole registry: concurrent closes
 	// share a bounded pool and queue behind -max-settles instead of each
 	// spinning up GOMAXPROCS goroutines. Reports are unaffected.
@@ -128,14 +156,18 @@ func run(args []string) error {
 		Workers:              *schedWorkers,
 		MaxConcurrentSettles: *maxSettles,
 		MaxQueuedSettles:     *maxQueued,
+		Obs:                  obsReg,
 	})
 	defer scheduler.Close()
 
-	regOpts := []registry.Option{registry.WithScheduler(scheduler)}
+	regOpts := []registry.Option{
+		registry.WithScheduler(scheduler),
+		registry.WithObservability(obsReg),
+	}
 	var st *store.FileStore
 	if *dataDir != "" {
 		var err error
-		st, err = store.Open(store.Options{Dir: *dataDir, SnapshotEvery: *snapshotEvery, Fsync: fsync})
+		st, err = store.Open(store.Options{Dir: *dataDir, SnapshotEvery: *snapshotEvery, Fsync: fsync, Obs: obsReg})
 		if err != nil {
 			return err
 		}
@@ -163,7 +195,7 @@ func run(args []string) error {
 		if recovered > 0 {
 			page, _ := reg.List(0, 1)
 			defaultID = page[0].ID()
-			logger.Printf("recovered %d campaigns from %s (%d events; %d settles to re-queue)",
+			logf("recovered %d campaigns from %s (%d events; %d settles to re-queue)",
 				recovered, *dataDir, st.Stats().RecoveredEvents, len(pending))
 		}
 	}
@@ -180,12 +212,13 @@ func run(args []string) error {
 			if k == 0 {
 				defaultID = hosted.ID()
 			}
-			logger.Printf("campaign %s open: %d tasks published, expecting %d workers (seed %d)",
+			logf("campaign %s open: %d tasks published, expecting %d workers (seed %d)",
 				hosted.ID(), *tasks, *workers, *seed+int64(k))
 		}
 	}
 
-	srv := wire.NewRegistryServer(reg, defaultID, cfg, logger.Printf)
+	srv := wire.NewRegistryServer(reg, defaultID, cfg, logf,
+		wire.WithObs(obsReg), wire.WithSlog(slogger))
 	// Finish what the crash interrupted: settles recorded as requested
 	// but never settled re-enter the normal admission path.
 	srv.ResumeSettles(pending)
@@ -194,13 +227,32 @@ func run(args []string) error {
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	logger.Printf("listening on http://%s — %d campaigns under /v2/campaigns, /v1 bound to %s",
+	logf("listening on http://%s — %d campaigns under /v2/campaigns, /v1 bound to %s",
 		*addr, *campaigns, defaultID)
-	logger.Printf("settle scheduler: max %d concurrent settles (0 = unlimited), %d shared pool workers",
+	logf("settle scheduler: max %d concurrent settles (0 = unlimited), %d shared pool workers",
 		*maxSettles, scheduler.Pool().Workers())
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpServer.ListenAndServe() }()
+
+	// The metrics listener is separate from the serving listener so a
+	// scrape (or a pprof profile) never competes with campaign traffic
+	// for the accept queue, and so /metrics can stay loopback-only while
+	// /v2 is public.
+	var metricsServer *http.Server
+	if *metricsAddr != "" {
+		metricsServer = &http.Server{
+			Addr:              *metricsAddr,
+			Handler:           metricsMux(obsReg, *pprofOn),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			if merr := metricsServer.ListenAndServe(); merr != nil && merr != http.ErrServerClosed {
+				errCh <- fmt.Errorf("metrics listener: %w", merr)
+			}
+		}()
+		logf("metrics on http://%s/metrics (pprof: %v)", *metricsAddr, *pprofOn)
+	}
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
@@ -208,7 +260,7 @@ func run(args []string) error {
 	case err := <-errCh:
 		return err
 	case sig := <-sigCh:
-		logger.Printf("received %v, draining", sig)
+		logf("received %v, draining", sig)
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		// Even if the listener cannot drain its connections in time,
@@ -217,6 +269,11 @@ func run(args []string) error {
 		// still in flight — the exact race this shutdown order exists
 		// to prevent.
 		err := httpServer.Shutdown(ctx)
+		if metricsServer != nil {
+			// Scrapes are quick; close the metrics listener outright so
+			// the drain budget goes to campaign traffic and settles.
+			metricsServer.Close()
+		}
 		// Drain in-flight asynchronous settles after the listener stops
 		// — srv.Shutdown waits for them (aborting only at ctx expiry,
 		// and then still waiting for the abort to land), so every
@@ -227,16 +284,47 @@ func run(args []string) error {
 		}
 		if st != nil {
 			if cerr := st.Close(); cerr != nil {
-				logger.Printf("campaign store close failed: %v", cerr)
+				logf("campaign store close failed: %v", cerr)
 				if err == nil {
 					err = cerr
 				}
 			} else {
-				logger.Printf("campaign store flushed and closed (%s)", *dataDir)
+				logf("campaign store flushed and closed (%s)", *dataDir)
 			}
 		}
 		return err
 	}
+}
+
+// newLogger builds the process logger in the requested format. Both
+// formats write to stderr; "json" emits one object per record for log
+// shippers, "text" stays human-readable.
+func newLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (text, json)", format)
+	}
+}
+
+// metricsMux assembles the -metrics-addr listener's routes: the
+// Prometheus exposition, and — only when asked — the pprof handlers.
+// pprof is mounted explicitly rather than via the package's
+// DefaultServeMux side effect so it never leaks onto the serving mux.
+func metricsMux(o *obs.Registry, withPprof bool) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", o.Handler())
+	if withPprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
 }
 
 // parseMechanism maps the CLI name to a stage-2 mechanism.

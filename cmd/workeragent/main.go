@@ -8,6 +8,7 @@
 //	workeragent -platform http://127.0.0.1:8080 -seed 42 -workers 40 -index 3
 //	workeragent -platform http://127.0.0.1:8080 -close
 //	workeragent -platform http://127.0.0.1:8080 -list
+//	workeragent -platform http://127.0.0.1:8080 -stats
 //	workeragent -platform http://127.0.0.1:8080 -campaign cmp-… -seed 43 -all -close
 //
 // With -close the agent settles the auction and prints the report,
@@ -43,17 +44,18 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("workeragent", flag.ContinueOnError)
 	var (
-		base     = fs.String("platform", "http://127.0.0.1:8080", "platform base URL")
-		seed     = fs.Int64("seed", 42, "campaign seed shared with platformd")
-		workers  = fs.Int("workers", 40, "campaign worker population (must match platformd)")
-		tasks    = fs.Int("tasks", 60, "campaign task count (must match platformd)")
-		copiers  = fs.Int("copiers", 10, "campaign copier count (must match platformd)")
-		index    = fs.Int("index", -1, "submit only this worker index")
-		all      = fs.Bool("all", false, "submit every worker in the population")
-		close_   = fs.Bool("close", false, "close the auction and print the report")
-		campaign = fs.String("campaign", "", "target this /v2 campaign ID (empty: the /v1 default campaign)")
-		list     = fs.Bool("list", false, "list the platform's campaigns and exit")
-		timeout  = fs.Duration("timeout", time.Minute, "request deadline")
+		base      = fs.String("platform", "http://127.0.0.1:8080", "platform base URL")
+		seed      = fs.Int64("seed", 42, "campaign seed shared with platformd")
+		workers   = fs.Int("workers", 40, "campaign worker population (must match platformd)")
+		tasks     = fs.Int("tasks", 60, "campaign task count (must match platformd)")
+		copiers   = fs.Int("copiers", 10, "campaign copier count (must match platformd)")
+		index     = fs.Int("index", -1, "submit only this worker index")
+		all       = fs.Bool("all", false, "submit every worker in the population")
+		close_    = fs.Bool("close", false, "close the auction and print the report")
+		campaign  = fs.String("campaign", "", "target this /v2 campaign ID (empty: the /v1 default campaign)")
+		list      = fs.Bool("list", false, "list the platform's campaigns and exit")
+		showStats = fs.Bool("stats", false, "print the platform's unified stats snapshot (GET /v2/stats) and exit")
+		timeout   = fs.Duration("timeout", time.Minute, "request deadline")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -68,6 +70,9 @@ func run(args []string, out io.Writer) error {
 
 	if *list {
 		return listCampaigns(ctx, client, out)
+	}
+	if *showStats {
+		return printStats(ctx, client, out)
 	}
 
 	c, err := regenerate(*seed, *workers, *tasks, *copiers)
@@ -106,7 +111,7 @@ func run(args []string, out io.Writer) error {
 	case *close_:
 		// handled below
 	default:
-		return fmt.Errorf("nothing to do: pass -all, -index, -close, or -list")
+		return fmt.Errorf("nothing to do: pass -all, -index, -close, -list, or -stats")
 	}
 
 	if *close_ {
@@ -139,6 +144,45 @@ func listCampaigns(ctx context.Context, client *wire.Client, out io.Writer) erro
 			return nil
 		}
 	}
+}
+
+// printStats fetches the unified platform snapshot and renders each
+// section the way an operator reads it: the registry's population, the
+// settle scheduler's admission counters, the store's durability state.
+func printStats(ctx context.Context, client *wire.Client, out io.Writer) error {
+	st, err := client.Stats(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "registry: %d campaigns\n", st.Registry.Campaigns)
+	states := make([]string, 0, len(st.Registry.States))
+	for s := range st.Registry.States {
+		states = append(states, s)
+	}
+	sort.Strings(states)
+	for _, s := range states {
+		fmt.Fprintf(out, "  %-9s %d\n", s, st.Registry.States[s])
+	}
+	if sc := st.Scheduler; sc.Enabled {
+		fmt.Fprintf(out, "scheduler: %d/%d active settles, %d queued (peak %d/%d)\n",
+			sc.ActiveSettles, sc.MaxConcurrentSettles, sc.QueuedSettles,
+			sc.PeakActiveSettles, sc.PeakQueuedSettles)
+		fmt.Fprintf(out, "  admitted=%d completed=%d rejected=%d overflowed=%d workers=%d\n",
+			sc.TotalAdmitted, sc.TotalCompleted, sc.TotalRejected, sc.TotalOverflowed, sc.Workers)
+	} else {
+		fmt.Fprintln(out, "scheduler: disabled (settles run unadmitted)")
+	}
+	if ss := st.Store; ss.Enabled {
+		fmt.Fprintf(out, "store: %s (fsync=%s)\n", ss.Dir, ss.Fsync)
+		fmt.Fprintf(out, "  seq=%d appended=%d recovered=%d snapshots=%d wal_bytes=%d\n",
+			ss.LastSeq, ss.AppendedEvents, ss.RecoveredEvents, ss.SnapshotsWritten, ss.WALBytes)
+		if ss.Failed != "" {
+			fmt.Fprintf(out, "  FAILED: %s\n", ss.Failed)
+		}
+	} else {
+		fmt.Fprintln(out, "store: in-memory only")
+	}
+	return nil
 }
 
 // closeCampaign settles either the /v1 default campaign (synchronous) or

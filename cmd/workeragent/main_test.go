@@ -60,6 +60,33 @@ func TestAgentSubmitAllAndClose(t *testing.T) {
 	}
 }
 
+func TestAgentStats(t *testing.T) {
+	reg := registry.New()
+	c, err := regenerate(3, 20, 24, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Create("one", c.Dataset.Tasks(), platform.DefaultConfig(), false); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(wire.NewRegistryServer(reg, "", platform.DefaultConfig(), nil).Handler())
+	defer srv.Close()
+
+	var buf strings.Builder
+	if err := run([]string{"-platform", srv.URL, "-stats"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"registry: 1 campaigns", "open      1",
+		"scheduler: disabled", "store: in-memory only",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-stats output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestAgentSingleIndex(t *testing.T) {
 	srv := startTestPlatform(t, 6, 20, 24, 5)
 	var buf strings.Builder

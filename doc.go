@@ -101,6 +101,17 @@
 // API.md's "Durability" for the WAL format, fsync policy, and recovery
 // semantics, and GET /v2/store for observability.)
 //
+// The whole platform is observable through one metrics registry
+// (internal/obs): hand imc2.NewMetricsRegistry() to the scheduler, the
+// store, the campaign registry (imc2.WithObservability), and the wire
+// server, and every subsystem exposes Prometheus-text instruments —
+// request latency by route, settle admission and queue wait, WAL fsync
+// latency, campaigns by state, and per-iteration truth-discovery
+// telemetry (imc2.SettleTrace). platformd serves it all on
+// -metrics-addr (plus optional -pprof) and logs structured records via
+// -log-format; see API.md's "Observability". Instrumentation never
+// changes results, and a nil registry disables it at zero cost.
+//
 // Failures everywhere carry a machine-readable code (imc2.ErrorCodeOf;
 // sentinels imc2.ErrNotFound, imc2.ErrConflict, imc2.ErrInvalid,
 // imc2.ErrInfeasible, imc2.ErrMonopolist, imc2.ErrCancelled), which the

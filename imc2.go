@@ -6,6 +6,7 @@ import (
 	"imc2/internal/gen"
 	"imc2/internal/imcerr"
 	"imc2/internal/model"
+	"imc2/internal/obs"
 	"imc2/internal/platform"
 	"imc2/internal/randx"
 	"imc2/internal/registry"
@@ -469,6 +470,41 @@ func WithStoreDir(dir string) RegistryOption {
 func RestoreCampaigns(reg *CampaignRegistry, st *FileCampaignStore) ([]*HostedCampaign, error) {
 	return reg.Restore(st.State().Campaigns(), st.RecoveredAt())
 }
+
+// ---- Observability (metrics + settle tracing) --------------------------------
+
+// MetricsRegistry collects the platform's instruments (counters, gauges,
+// histograms) and renders them as Prometheus text. One registry serves a
+// whole process; hand it to the scheduler (SettleSchedulerConfig.Obs),
+// the store (CampaignStoreOptions.Obs), the campaign registry
+// (WithObservability), and the wire server. A nil registry disables
+// instrumentation everywhere at zero cost.
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// WithObservability instruments a campaign registry: submission and
+// campaign counters, campaigns-by-state gauges, and per-settle truth
+// telemetry (iterations, per-pass wall time, convergence deltas) under
+// imc2_registry_* and imc2_truth_*. A nil registry is a no-op.
+func WithObservability(o *MetricsRegistry) RegistryOption { return registry.WithObservability(o) }
+
+// SettleTrace observes the stage-1 engine iteration by iteration;
+// attach one via TruthOptions.Trace. Tracing never changes results.
+type SettleTrace = truth.Trace
+
+// SettleIterationStats is one traced iteration: pass wall times, the
+// convergence delta, and whether this iteration converged.
+type SettleIterationStats = truth.IterationStats
+
+// SettleTraceRecorder accumulates every traced iteration in order — the
+// simplest SettleTrace, and the one behind the audit's convergence log.
+type SettleTraceRecorder = truth.Recorder
+
+// MultiSettleTrace fans one settle's telemetry out to several sinks,
+// dropping nils; it returns nil when every sink is nil.
+func MultiSettleTrace(traces ...SettleTrace) SettleTrace { return truth.MultiTrace(traces...) }
 
 // ---- Workload generation -----------------------------------------------------
 

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Histogram counts observations into fixed buckets. Observe is the
+// zero-allocation hot path: one bucket search (the bound count is
+// small and fixed), two atomic adds, and one CAS loop for the sum. A
+// nil receiver no-ops.
+type Histogram struct {
+	// upper holds the ascending bucket upper bounds; counts has one
+	// slot per bound plus the +Inf overflow slot at the end. Counts are
+	// per-bucket (not cumulative); exposition accumulates.
+	upper   []float64
+	counts  []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+func newHistogram(sortedUpper []float64) *Histogram {
+	return &Histogram{
+		upper:  sortedUpper,
+		counts: make([]atomic.Uint64, len(sortedUpper)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.upper) && v > h.upper[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// cumulative returns the per-bound cumulative counts (excluding +Inf,
+// whose cumulative count is Count). A point-in-time scrape racing
+// Observe may see a bucket increment before the total — exposition
+// therefore derives the +Inf series from the bucket sum, keeping the
+// rendered histogram internally monotonic.
+func (h *Histogram) cumulative() (bounds []float64, counts []uint64, total uint64) {
+	counts = make([]uint64, len(h.upper))
+	var cum uint64
+	for i := range h.upper {
+		cum += h.counts[i].Load()
+		counts[i] = cum
+	}
+	total = cum + h.counts[len(h.upper)].Load()
+	return h.upper, counts, total
+}

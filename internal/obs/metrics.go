@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing count. All methods are safe
+// for concurrent use, never allocate, and no-op on a nil receiver.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a value that can go up and down. A gauge may instead be
+// backed by a read-at-scrape function (see Registry.GaugeFunc); Set and
+// Add on a function-backed gauge are no-ops. All methods are safe for
+// concurrent use, never allocate, and no-op on a nil receiver.
+type Gauge struct {
+	bits atomic.Uint64 // math.Float64bits of the value
+	fn   func() float64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) {
+	if g == nil || g.fn != nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add moves the gauge by d (negative to decrease).
+func (g *Gauge) Add(d float64) {
+	if g == nil || g.fn != nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value (0 on a nil receiver), consulting the
+// backing function for function-backed gauges.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	if g.fn != nil {
+		return g.fn()
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Counter registers (or resolves) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	f := r.register(name, help, typeCounter, nil, nil)
+	return f.get(nil, func() any { return new(Counter) }).(*Counter)
+}
+
+// Gauge registers (or resolves) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	f := r.register(name, help, typeGauge, nil, nil)
+	return f.get(nil, func() any { return new(Gauge) }).(*Gauge)
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at scrape
+// time — the right shape for values another component already tracks
+// (queue depths, file sizes, campaigns per lifecycle state). fn must be
+// safe for concurrent use.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	f := r.register(name, help, typeGauge, nil, nil)
+	f.get(nil, func() any { return &Gauge{fn: fn} })
+}
+
+// Histogram registers (or resolves) an unlabeled fixed-bucket
+// histogram. Bucket bounds are upper limits; an implicit +Inf bucket
+// catches the rest. The bounds are copied and sorted.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	b := sortedCopy(buckets)
+	f := r.register(name, help, typeHistogram, nil, b)
+	return f.get(nil, func() any { return newHistogram(b) }).(*Histogram)
+}
+
+// CounterVec is a family of counters distinguished by label values.
+type CounterVec struct{ f *family }
+
+// CounterVec registers a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	return &CounterVec{f: r.register(name, help, typeCounter, labels, nil)}
+}
+
+// With resolves the child counter for the given label values, creating
+// it on first use. First use allocates; hot paths resolve children once
+// at wiring time and hold them.
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	return v.f.get(values, func() any { return new(Counter) }).(*Counter)
+}
+
+// GaugeVec is a family of gauges distinguished by label values.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	return &GaugeVec{f: r.register(name, help, typeGauge, labels, nil)}
+}
+
+// With resolves the child gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	return v.f.get(values, func() any { return new(Gauge) }).(*Gauge)
+}
+
+// BindFunc registers a function-backed child gauge for the given label
+// values — e.g. one campaigns-count series per lifecycle state, each
+// counting at scrape time.
+func (v *GaugeVec) BindFunc(fn func() float64, values ...string) {
+	if v == nil {
+		return
+	}
+	v.f.get(values, func() any { return &Gauge{fn: fn} })
+}
+
+// HistogramVec is a family of histograms distinguished by label values;
+// all children share one bucket layout.
+type HistogramVec struct {
+	f       *family
+	buckets []float64
+}
+
+// HistogramVec registers a labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	b := sortedCopy(buckets)
+	return &HistogramVec{f: r.register(name, help, typeHistogram, labels, b), buckets: b}
+}
+
+// With resolves the child histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	return v.f.get(values, func() any { return newHistogram(v.buckets) }).(*Histogram)
+}

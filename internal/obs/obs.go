@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Metric types as they appear in the exposition's # TYPE line.
+const (
+	typeCounter   = "counter"
+	typeGauge     = "gauge"
+	typeHistogram = "histogram"
+)
+
+// Registry holds metric families in registration order. The zero value
+// is not usable; construct with NewRegistry. A nil *Registry is a valid
+// "observability off" registry: every constructor returns a nil
+// instrument whose methods no-op.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// family is one named metric: shared help/type/labels plus its series.
+type family struct {
+	name    string
+	help    string
+	typ     string
+	labels  []string
+	buckets []float64 // histograms only
+
+	mu     sync.Mutex
+	order  []string // series keys in first-use order
+	series map[string]any
+}
+
+// register resolves name to its family, creating it on first use. A
+// re-registration with the identical signature returns the existing
+// family (so independent components may share a registry without
+// coordinating); a conflicting one panics — that is a wiring bug, not
+// a runtime condition.
+func (r *Registry) register(name, help, typ string, labels []string, buckets []float64) *family {
+	if err := checkName(name); err != nil {
+		panic("obs: " + err.Error())
+	}
+	for _, l := range labels {
+		if err := checkName(l); err != nil {
+			panic("obs: label of " + name + ": " + err.Error())
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f := r.byName[name]; f != nil {
+		if f.typ != typ || !equalStrings(f.labels, labels) || !equalFloats(f.buckets, buckets) {
+			panic(fmt.Sprintf("obs: metric %q re-registered with a conflicting signature", name))
+		}
+		return f
+	}
+	f := &family{
+		name:    name,
+		help:    help,
+		typ:     typ,
+		labels:  labels,
+		buckets: buckets,
+		series:  make(map[string]any),
+	}
+	r.families = append(r.families, f)
+	r.byName[name] = f
+	return f
+}
+
+// get resolves one series of the family by its label values, creating
+// it with mk on first use.
+func (f *family) get(values []string, mk func() any) any {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := strings.Join(values, "\x00")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.series[key]; ok {
+		return s
+	}
+	s := mk()
+	f.series[key] = s
+	f.order = append(f.order, key)
+	return s
+}
+
+// Names lists every registered metric name in registration order. The
+// metrics-lint test walks it to enforce the naming convention.
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, len(r.families))
+	for i, f := range r.families {
+		names[i] = f.name
+	}
+	return names
+}
+
+// snapshot copies the family list for exposition without holding the
+// registry lock across rendering.
+func (r *Registry) snapshot() []*family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*family(nil), r.families...)
+}
+
+// checkName validates a metric or label name against the Prometheus
+// data model.
+func checkName(name string) error {
+	if name == "" {
+		return fmt.Errorf("empty metric name")
+	}
+	for i, c := range name {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return fmt.Errorf("invalid metric name %q", name)
+		}
+	}
+	return nil
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ExpBuckets returns n histogram bucket bounds growing geometrically
+// from start by factor — the standard shape for latency and size
+// distributions spanning orders of magnitude. It panics on a
+// non-positive start, a factor <= 1, or n < 1.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("obs: ExpBuckets needs start > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start
+		start *= factor
+	}
+	return out
+}
+
+// LatencyBuckets is the default bound set for operation-duration
+// histograms in seconds: 100µs to ~52s, doubling.
+var LatencyBuckets = ExpBuckets(100e-6, 2, 20)
+
+// sortedCopy returns values ascending-sorted without mutating the
+// caller's slice; histogram construction uses it so bucket order never
+// depends on the caller.
+func sortedCopy(values []float64) []float64 {
+	out := append([]float64(nil), values...)
+	sort.Float64s(out)
+	return out
+}

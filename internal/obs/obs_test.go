@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilRegistryIsInert(t *testing.T) {
+	var r *Registry
+	c := r.Counter("imc2_x_a_total", "h")
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatalf("nil counter Value = %d, want 0", c.Value())
+	}
+	g := r.Gauge("imc2_x_b_count", "h")
+	g.Set(3)
+	g.Add(1)
+	g.Inc()
+	g.Dec()
+	if g.Value() != 0 {
+		t.Fatalf("nil gauge Value = %v, want 0", g.Value())
+	}
+	r.GaugeFunc("imc2_x_c_count", "h", func() float64 { return 7 })
+	h := r.Histogram("imc2_x_d_seconds", "h", LatencyBuckets)
+	h.Observe(0.5)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("nil histogram observed something: count=%d sum=%v", h.Count(), h.Sum())
+	}
+	cv := r.CounterVec("imc2_x_e_total", "h", "k")
+	cv.With("v").Inc()
+	gv := r.GaugeVec("imc2_x_f_count", "h", "k")
+	gv.With("v").Set(1)
+	gv.BindFunc(func() float64 { return 1 }, "v")
+	hv := r.HistogramVec("imc2_x_g_seconds", "h", LatencyBuckets, "k")
+	hv.With("v").Observe(1)
+	if names := r.Names(); names != nil {
+		t.Fatalf("nil registry Names = %v, want nil", names)
+	}
+	var buf strings.Builder
+	if err := r.WritePrometheus(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil registry exposition: err=%v out=%q", err, buf.String())
+	}
+}
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("imc2_test_ops_total", "ops")
+	c.Inc()
+	c.Add(41)
+	if c.Value() != 42 {
+		t.Fatalf("counter = %d, want 42", c.Value())
+	}
+	if again := r.Counter("imc2_test_ops_total", "ops"); again != c {
+		t.Fatal("re-registration did not return the same counter")
+	}
+	g := r.Gauge("imc2_test_depth_count", "depth")
+	g.Set(10)
+	g.Add(-2.5)
+	g.Inc()
+	g.Dec()
+	if g.Value() != 7.5 {
+		t.Fatalf("gauge = %v, want 7.5", g.Value())
+	}
+	r.GaugeFunc("imc2_test_fn_count", "fn", func() float64 { return 99 })
+	fam := r.byName["imc2_test_fn_count"]
+	fg := fam.get(nil, func() any { t.Fatal("mk called for existing series"); return nil }).(*Gauge)
+	fg.Set(1) // ignored on fn-backed gauges
+	fg.Add(1)
+	if fg.Value() != 99 {
+		t.Fatalf("fn gauge = %v, want 99", fg.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("imc2_test_lat_seconds", "lat", []float64{1, 0.1, 0.01}) // unsorted on purpose
+	for _, v := range []float64{0.005, 0.05, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-5.605) > 1e-9 {
+		t.Fatalf("sum = %v, want 5.605", h.Sum())
+	}
+	bounds, counts, total := h.cumulative()
+	wantBounds := []float64{0.01, 0.1, 1}
+	wantCounts := []uint64{1, 3, 4}
+	for i := range wantBounds {
+		if bounds[i] != wantBounds[i] || counts[i] != wantCounts[i] {
+			t.Fatalf("bucket %d: le=%v n=%d, want le=%v n=%d", i, bounds[i], counts[i], wantBounds[i], wantCounts[i])
+		}
+	}
+	if total != 5 {
+		t.Fatalf("total = %d, want 5", total)
+	}
+	// Boundary values land in their bucket (le is inclusive).
+	h2 := r.Histogram("imc2_test_edge_seconds", "edge", []float64{1})
+	h2.Observe(1)
+	_, counts2, _ := h2.cumulative()
+	if counts2[0] != 1 {
+		t.Fatalf("observation equal to bound fell through: %v", counts2)
+	}
+}
+
+func TestVecChildrenAreDistinctAndCached(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("imc2_test_req_total", "reqs", "route", "status")
+	a := v.With("/v2/submit", "200")
+	b := v.With("/v2/submit", "500")
+	if a == b {
+		t.Fatal("distinct label values shared a child")
+	}
+	a.Add(3)
+	b.Inc()
+	if v.With("/v2/submit", "200") != a {
+		t.Fatal("child not cached")
+	}
+	if a.Value() != 3 || b.Value() != 1 {
+		t.Fatalf("children = %d/%d, want 3/1", a.Value(), b.Value())
+	}
+}
+
+func TestRegisterPanicsOnConflict(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	r := NewRegistry()
+	r.Counter("imc2_test_a_total", "h")
+	mustPanic("type conflict", func() { r.Gauge("imc2_test_a_total", "h") })
+	r.CounterVec("imc2_test_b_total", "h", "k")
+	mustPanic("label conflict", func() { r.CounterVec("imc2_test_b_total", "h", "other") })
+	r.Histogram("imc2_test_c_seconds", "h", []float64{1, 2})
+	mustPanic("bucket conflict", func() { r.Histogram("imc2_test_c_seconds", "h", []float64{1, 3}) })
+	mustPanic("bad name", func() { r.Counter("0bad", "h") })
+	mustPanic("bad label", func() { r.CounterVec("imc2_test_d_total", "h", "bad-label") })
+	mustPanic("wrong arity", func() { r.CounterVec("imc2_test_b_total", "h", "k").With("a", "b") })
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("imc2_test_n_total", "n")
+	g := r.Gauge("imc2_test_g_count", "g")
+	h := r.Histogram("imc2_test_h_seconds", "h", []float64{0.5})
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(0.25)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != workers*per {
+		t.Fatalf("counter = %d, want %d", c.Value(), workers*per)
+	}
+	if g.Value() != workers*per {
+		t.Fatalf("gauge = %v, want %d", g.Value(), workers*per)
+	}
+	if h.Count() != workers*per || math.Abs(h.Sum()-workers*per*0.25) > 1e-6 {
+		t.Fatalf("histogram count=%d sum=%v", h.Count(), h.Sum())
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(0.001, 10, 4)
+	want := []float64{0.001, 0.01, 0.1, 1}
+	for i := range want {
+		if math.Abs(b[i]-want[i]) > 1e-12 {
+			t.Fatalf("bucket %d = %v, want %v", i, b[i], want[i])
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ExpBuckets(0, 2, 3) did not panic")
+		}
+	}()
+	ExpBuckets(0, 2, 3)
+}

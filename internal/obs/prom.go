@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered family in Prometheus text
+// format (version 0.0.4): a # HELP and # TYPE header per family, then
+// its series in first-use order. Histograms expand into cumulative
+// _bucket series (up to and including le="+Inf") plus _sum and _count.
+// A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	for _, f := range r.snapshot() {
+		f.write(bw)
+	}
+	return bw.Flush()
+}
+
+// Handler serves the registry in Prometheus text format — mount it as
+// GET /metrics. A nil registry serves empty exposition.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+func (f *family) write(w *bufio.Writer) {
+	w.WriteString("# HELP ")
+	w.WriteString(f.name)
+	w.WriteByte(' ')
+	w.WriteString(escapeHelp(f.help))
+	w.WriteString("\n# TYPE ")
+	w.WriteString(f.name)
+	w.WriteByte(' ')
+	w.WriteString(f.typ)
+	w.WriteByte('\n')
+
+	f.mu.Lock()
+	keys := append([]string(nil), f.order...)
+	series := make([]any, len(keys))
+	for i, k := range keys {
+		series[i] = f.series[k]
+	}
+	f.mu.Unlock()
+
+	for i, k := range keys {
+		var values []string
+		if len(f.labels) > 0 {
+			values = strings.Split(k, "\x00")
+		}
+		switch m := series[i].(type) {
+		case *Counter:
+			writeSeries(w, f.name, f.labels, values, "", "", formatUint(m.Value()))
+		case *Gauge:
+			writeSeries(w, f.name, f.labels, values, "", "", formatFloat(m.Value()))
+		case *Histogram:
+			bounds, counts, total := m.cumulative()
+			for bi, b := range bounds {
+				writeSeries(w, f.name+"_bucket", f.labels, values, "le", formatFloat(b), formatUint(counts[bi]))
+			}
+			writeSeries(w, f.name+"_bucket", f.labels, values, "le", "+Inf", formatUint(total))
+			writeSeries(w, f.name+"_sum", f.labels, values, "", "", formatFloat(m.Sum()))
+			writeSeries(w, f.name+"_count", f.labels, values, "", "", formatUint(total))
+		}
+	}
+}
+
+// writeSeries emits one sample line, appending the extra label (the
+// histogram's le) when set.
+func writeSeries(w *bufio.Writer, name string, labels, values []string, extraLabel, extraValue, sample string) {
+	w.WriteString(name)
+	if len(labels) > 0 || extraLabel != "" {
+		w.WriteByte('{')
+		first := true
+		for i, l := range labels {
+			if !first {
+				w.WriteByte(',')
+			}
+			first = false
+			w.WriteString(l)
+			w.WriteString(`="`)
+			w.WriteString(escapeLabel(values[i]))
+			w.WriteByte('"')
+		}
+		if extraLabel != "" {
+			if !first {
+				w.WriteByte(',')
+			}
+			w.WriteString(extraLabel)
+			w.WriteString(`="`)
+			w.WriteString(extraValue)
+			w.WriteByte('"')
+		}
+		w.WriteByte('}')
+	}
+	w.WriteByte(' ')
+	w.WriteString(sample)
+	w.WriteByte('\n')
+}
+
+func formatUint(v uint64) string { return strconv.FormatUint(v, 10) }
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// escapeHelp escapes a help string per the text format: backslash and
+// newline.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value: backslash, double quote, newline.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -1,0 +1,246 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusGolden pins the exact exposition bytes for a small
+// registry exercising every instrument shape: help escaping, label
+// escaping, registration-then-first-use ordering, and histogram
+// expansion.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("imc2_test_ops_total", "ops processed").Add(7)
+	v := r.CounterVec("imc2_test_req_total", `requests with "quotes" and \slashes`, "route", "status")
+	v.With("/v2/submit", "200").Add(3)
+	v.With(`weird"route`+"\n", "500").Inc()
+	r.Gauge("imc2_test_depth_count", "queue depth").Set(2.5)
+	r.GaugeFunc("imc2_test_live_count", "live readings", func() float64 { return 4 })
+	h := r.Histogram("imc2_test_lat_seconds", "latency", []float64{0.01, 0.1, 1})
+	for _, x := range []float64{0.005, 0.05, 0.5, 5} {
+		h.Observe(x)
+	}
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	want := `# HELP imc2_test_ops_total ops processed
+# TYPE imc2_test_ops_total counter
+imc2_test_ops_total 7
+# HELP imc2_test_req_total requests with "quotes" and \\slashes
+# TYPE imc2_test_req_total counter
+imc2_test_req_total{route="/v2/submit",status="200"} 3
+imc2_test_req_total{route="weird\"route\n",status="500"} 1
+# HELP imc2_test_depth_count queue depth
+# TYPE imc2_test_depth_count gauge
+imc2_test_depth_count 2.5
+# HELP imc2_test_live_count live readings
+# TYPE imc2_test_live_count gauge
+imc2_test_live_count 4
+# HELP imc2_test_lat_seconds latency
+# TYPE imc2_test_lat_seconds histogram
+imc2_test_lat_seconds_bucket{le="0.01"} 1
+imc2_test_lat_seconds_bucket{le="0.1"} 2
+imc2_test_lat_seconds_bucket{le="1"} 3
+imc2_test_lat_seconds_bucket{le="+Inf"} 4
+imc2_test_lat_seconds_sum 5.555
+imc2_test_lat_seconds_count 4
+`
+	if sb.String() != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", sb.String(), want)
+	}
+}
+
+func TestHandlerServesExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("imc2_test_hits_total", "hits").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "imc2_test_hits_total 1\n") {
+		t.Fatalf("body missing sample:\n%s", rec.Body.String())
+	}
+
+	var nilReg *Registry
+	rec = httptest.NewRecorder()
+	nilReg.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 || rec.Body.Len() != 0 {
+		t.Fatalf("nil registry handler: code=%d body=%q", rec.Code, rec.Body.String())
+	}
+}
+
+// promSample is one parsed exposition line.
+type promSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// ParsePromText is a minimal Prometheus text-format parser for tests in
+// this module: it returns all samples plus the # TYPE of each family,
+// and fails the test on any malformed line. It understands exactly what
+// WritePrometheus emits (no timestamps, no exemplars).
+func ParsePromText(t *testing.T, text string) (samples []promSample, types map[string]string) {
+	t.Helper()
+	types = make(map[string]string)
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				t.Fatalf("line %d: malformed TYPE: %q", ln+1, line)
+			}
+			types[fields[2]] = fields[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		s := promSample{Labels: map[string]string{}}
+		rest := line
+		if i := strings.IndexByte(rest, '{'); i >= 0 {
+			s.Name = rest[:i]
+			end := strings.LastIndexByte(rest, '}')
+			if end < i {
+				t.Fatalf("line %d: unterminated label set: %q", ln+1, line)
+			}
+			parseLabels(t, ln+1, rest[i+1:end], s.Labels)
+			rest = strings.TrimSpace(rest[end+1:])
+		} else {
+			i = strings.IndexByte(rest, ' ')
+			if i < 0 {
+				t.Fatalf("line %d: no sample value: %q", ln+1, line)
+			}
+			s.Name = rest[:i]
+			rest = strings.TrimSpace(rest[i+1:])
+		}
+		var err error
+		if rest == "+Inf" {
+			s.Value = inf()
+		} else if s.Value, err = strconv.ParseFloat(rest, 64); err != nil {
+			t.Fatalf("line %d: bad value %q: %v", ln+1, rest, err)
+		}
+		samples = append(samples, s)
+	}
+	return samples, types
+}
+
+func parseLabels(t *testing.T, ln int, s string, into map[string]string) {
+	t.Helper()
+	for s != "" {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 || len(s) < eq+2 || s[eq+1] != '"' {
+			t.Fatalf("line %d: malformed label pair in %q", ln, s)
+		}
+		name := s[:eq]
+		rest := s[eq+2:]
+		var val strings.Builder
+		i := 0
+		for ; i < len(rest); i++ {
+			c := rest[i]
+			if c == '\\' && i+1 < len(rest) {
+				i++
+				switch rest[i] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(rest[i])
+				}
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			val.WriteByte(c)
+		}
+		if i == len(rest) {
+			t.Fatalf("line %d: unterminated label value in %q", ln, s)
+		}
+		into[name] = val.String()
+		s = strings.TrimPrefix(rest[i+1:], ",")
+	}
+}
+
+func inf() float64 { v, _ := strconv.ParseFloat("+Inf", 64); return v }
+
+// TestParsedExpositionIsWellFormed scrapes a registry through the
+// parser and checks the structural invariants a real Prometheus server
+// relies on: every sample's family has a TYPE, histogram buckets are
+// cumulative and end at +Inf equal to _count, and counters never carry
+// a fractional value.
+func TestParsedExpositionIsWellFormed(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("imc2_test_ops_total", "ops").Add(12)
+	h := r.HistogramVec("imc2_test_wait_seconds", "wait", []float64{0.1, 1}, "kind")
+	h.With("fast").Observe(0.05)
+	h.With("slow").Observe(2)
+	h.With("slow").Observe(0.5)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	samples, types := ParsePromText(t, sb.String())
+	if types["imc2_test_ops_total"] != "counter" || types["imc2_test_wait_seconds"] != "histogram" {
+		t.Fatalf("types = %v", types)
+	}
+
+	// Group histogram bucket series per label set and check monotonicity.
+	buckets := map[string][]promSample{}
+	counts := map[string]float64{}
+	for _, s := range samples {
+		switch s.Name {
+		case "imc2_test_wait_seconds_bucket":
+			buckets[s.Labels["kind"]] = append(buckets[s.Labels["kind"]], s)
+		case "imc2_test_wait_seconds_count":
+			counts[s.Labels["kind"]] = s.Value
+		case "imc2_test_ops_total":
+			if s.Value != 12 {
+				t.Fatalf("counter sample = %v", s.Value)
+			}
+		}
+	}
+	for kind, bs := range buckets {
+		sort.SliceStable(bs, func(i, j int) bool {
+			return leOf(t, bs[i]) < leOf(t, bs[j])
+		})
+		prev := -1.0
+		for _, b := range bs {
+			if b.Value < prev {
+				t.Fatalf("kind %q: non-monotonic buckets: %v", kind, bs)
+			}
+			prev = b.Value
+		}
+		last := bs[len(bs)-1]
+		if leOf(t, last) != inf() {
+			t.Fatalf("kind %q: last bucket is not +Inf", kind)
+		}
+		if last.Value != counts[kind] {
+			t.Fatalf("kind %q: +Inf bucket %v != _count %v", kind, last.Value, counts[kind])
+		}
+	}
+	if len(buckets["fast"]) != 3 || len(buckets["slow"]) != 3 {
+		t.Fatalf("bucket series per child = %d/%d, want 3/3", len(buckets["fast"]), len(buckets["slow"]))
+	}
+}
+
+func leOf(t *testing.T, s promSample) float64 {
+	t.Helper()
+	le := s.Labels["le"]
+	if le == "+Inf" {
+		return inf()
+	}
+	v, err := strconv.ParseFloat(le, 64)
+	if err != nil {
+		t.Fatalf("bad le %q: %v", le, err)
+	}
+	return v
+}

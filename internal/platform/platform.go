@@ -250,6 +250,11 @@ type SuspectPair struct {
 type Audit struct {
 	Pairs        []SuspectPair
 	CopierScores map[string]float64
+	// Convergence is the settle's per-iteration telemetry — pass wall
+	// times and how many task truths moved each round (truth.Trace).
+	// Wall-clock times vary run to run; equality checks on settle output
+	// should compare Reports, which stay bit-identical.
+	Convergence []truth.IterationStats
 }
 
 // Run executes both stages and settles the campaign. It is the
@@ -271,7 +276,10 @@ func (p *Platform) runStages(ctx context.Context, cfg Config) (*Report, *Audit, 
 	if err != nil {
 		return nil, nil, err
 	}
-	res, err := truth.Discover(ds, cfg.TruthMethod, cfg.TruthOptions)
+	rec := &truth.Recorder{}
+	topt := cfg.TruthOptions
+	topt.Trace = truth.MultiTrace(rec, topt.Trace)
+	res, err := truth.Discover(ds, cfg.TruthMethod, topt)
 	if err != nil {
 		return nil, nil, imcerr.Wrapf(imcerr.CodeInvalid, err, "platform: truth discovery")
 	}
@@ -279,6 +287,9 @@ func (p *Platform) runStages(ctx context.Context, cfg Config) (*Report, *Audit, 
 		return nil, nil, err
 	}
 	audit := buildAudit(ds, res, 20)
+	if audit != nil {
+		audit.Convergence = rec.Iterations
+	}
 	in := BuildInstance(ds, res.Accuracy, bids)
 	var out *auction.Outcome
 	switch cfg.Mechanism {

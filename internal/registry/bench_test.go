@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"imc2/internal/obs"
 	"imc2/internal/platform"
 	"imc2/internal/store"
 )
@@ -38,6 +39,79 @@ func BenchmarkSubmitInMemory(b *testing.B) {
 		if err := c.Submit(subs[i]); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkSubmitDurableInstrumented adds the store's WAL metrics
+// (append counter, bytes, latency histogram) to the durable path.
+func BenchmarkSubmitDurableInstrumented(b *testing.B) {
+	st, err := store.Open(store.Options{
+		Dir: b.TempDir(), SnapshotEvery: -1, Fsync: store.FsyncNever,
+		Obs: obs.NewRegistry(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	r := New(WithStore(st))
+	c, err := r.Create("bench", testTasks(), platform.DefaultConfig(), false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	subs := benchSubmissions(b.N)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Submit(subs[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSubmitInMemoryInstrumented is the hot path with the metrics
+// registry attached: the only addition is one atomic counter add, so
+// allocs/op must stay 0 (TestSubmitInMemoryZeroAllocsInstrumented holds
+// the line; benchstat prices the atomic).
+func BenchmarkSubmitInMemoryInstrumented(b *testing.B) {
+	r := New(WithObservability(obs.NewRegistry()))
+	c, err := r.Create("bench", testTasks(), platform.DefaultConfig(), false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	subs := benchSubmissions(b.N)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Submit(subs[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestSubmitInMemoryZeroAllocsInstrumented is the allocation guard CI
+// runs on every PR: the in-memory submit path with metrics enabled must
+// not allocate — instrumentation is one atomic add, nothing more.
+func TestSubmitInMemoryZeroAllocsInstrumented(t *testing.T) {
+	r := New(WithObservability(obs.NewRegistry()))
+	c, err := r.Create("allocs", testTasks(), platform.DefaultConfig(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const runs = 1000
+	subs := benchSubmissions(runs + 10)
+	i := 0
+	var submitErr error
+	avg := testing.AllocsPerRun(runs, func() {
+		if err := c.Submit(subs[i]); err != nil && submitErr == nil {
+			submitErr = err
+		}
+		i++
+	})
+	if submitErr != nil {
+		t.Fatal(submitErr)
+	}
+	if avg != 0 {
+		t.Fatalf("instrumented in-memory submit allocates %.1f allocs/op, want 0", avg)
 	}
 }
 

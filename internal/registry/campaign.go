@@ -10,6 +10,7 @@ import (
 	"imc2/internal/platform"
 	"imc2/internal/sched"
 	"imc2/internal/store"
+	"imc2/internal/truth"
 )
 
 // Campaign is one registered campaign: a platform engine plus the
@@ -33,6 +34,10 @@ type Campaign struct {
 	// platform holds no lock).
 	store   store.Store
 	storeMu sync.Mutex
+	// m is the registry's shared obs instruments (nil: uninstrumented).
+	// The in-memory submit path pays one nil check and one atomic add
+	// for it — no allocations either way.
+	m *regMetrics
 	// recoveredAt is when this campaign was rebuilt from the store; zero
 	// for campaigns created in this process.
 	recoveredAt time.Time
@@ -98,7 +103,11 @@ func (c *Campaign) Cancel() error {
 // Submit registers one sealed submission.
 func (c *Campaign) Submit(sub platform.Submission) error {
 	if c.store == nil {
-		return c.p.Submit(sub)
+		if err := c.p.Submit(sub); err != nil {
+			return err
+		}
+		c.m.noteSubmissions(1)
+		return nil
 	}
 	_, err := c.submitDurable([]platform.Submission{sub}, false)
 	return err
@@ -113,9 +122,11 @@ func (c *Campaign) SubmitBatch(subs []platform.Submission) (int, error) {
 	if c.store == nil {
 		for i, sub := range subs {
 			if err := c.p.Submit(sub); err != nil {
+				c.m.noteSubmissions(i)
 				return i, imcerr.Wrapf(imcerr.CodeOf(err), err, "registry: batch submission %d (worker %q)", i, sub.Worker)
 			}
 		}
+		c.m.noteSubmissions(len(subs))
 		return len(subs), nil
 	}
 	return c.submitDurable(subs, true)
@@ -142,6 +153,7 @@ func (c *Campaign) submitDurable(subs []platform.Submission, batch bool) (int, e
 		}
 		accepted = append(accepted, store.SubmissionFromPlatform(sub))
 	}
+	c.m.noteSubmissions(len(accepted))
 	if len(accepted) > 0 {
 		ev := store.Event{Type: store.EventSubmissions, Campaign: c.id, Submissions: accepted}
 		if err := c.appendLocked(ev); err != nil {
@@ -186,6 +198,11 @@ func (c *Campaign) Settle(ctx context.Context) (*platform.Report, error) {
 // durable registry the settle's durability hooks are injected too: the
 // close request is logged before any stage runs, and the settled report
 // is logged before the campaign's in-memory state admits it settled.
+// On an instrumented registry the truth trace sink is chained in (the
+// campaign's own Trace, if configured, still sees every iteration) and
+// per-settle totals are observed via the RecordSettled hook — which the
+// platform invokes exactly once per executed settle, so racing callers
+// that share a cached report never double-count.
 func (c *Campaign) settleConfig() platform.Config {
 	cfg := c.cfg
 	if c.sched != nil {
@@ -210,6 +227,19 @@ func (c *Campaign) settleConfig() platform.Config {
 					Audit:  store.AuditFromPlatform(audit),
 				},
 			})
+		}
+	}
+	if c.m != nil {
+		cfg.TruthOptions.Trace = truth.MultiTrace(cfg.TruthOptions.Trace, c.m.trace())
+		inner := cfg.RecordSettled
+		cfg.RecordSettled = func(rep *platform.Report, audit *platform.Audit) error {
+			if inner != nil {
+				if err := inner(rep, audit); err != nil {
+					return err
+				}
+			}
+			c.m.noteSettled(rep)
+			return nil
 		}
 	}
 	return cfg

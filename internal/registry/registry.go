@@ -50,6 +50,10 @@ type Registry struct {
 	ownsStore bool
 	storeErr  error
 
+	// m, when non-nil, holds the registry's obs instruments (see
+	// WithObservability). Nil is the uninstrumented registry.
+	m *regMetrics
+
 	// ordered lists campaigns in creation (= ID) order. Campaigns are
 	// never removed, so pagination is a slice copy — List must not walk
 	// and sort the whole store per request (an unauthenticated client
@@ -233,7 +237,7 @@ func (r *Registry) adopt(name string, p *platform.Platform, cfg platform.Config)
 	// acquires r.mu while holding a shard lock.)
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	c := &Campaign{id: r.nextID(), name: name, p: p, cfg: cfg, sched: r.sched, store: r.st}
+	c := &Campaign{id: r.nextID(), name: name, p: p, cfg: cfg, sched: r.sched, store: r.st, m: r.m}
 	if r.st != nil {
 		// Durability before visibility: the created event is on disk
 		// before any client can learn the campaign's ID. Holding r.mu
@@ -258,6 +262,7 @@ func (r *Registry) adopt(name string, p *platform.Platform, cfg platform.Config)
 	s.byID[c.id] = c
 	s.mu.Unlock()
 	r.ordered = append(r.ordered, c)
+	r.m.noteCreated()
 	return c, nil
 }
 

@@ -60,6 +60,7 @@ func (r *Registry) Restore(recs []*store.CampaignRecord, recoveredAt time.Time) 
 			cfg:         rec.Config.ToPlatform(),
 			sched:       r.sched,
 			store:       r.st,
+			m:           r.m,
 			recoveredAt: recoveredAt,
 		}
 		s := r.shardFor(c.id)
@@ -71,6 +72,7 @@ func (r *Registry) Restore(recs []*store.CampaignRecord, recoveredAt time.Time) 
 		s.byID[c.id] = c
 		s.mu.Unlock()
 		r.ordered = append(r.ordered, c)
+		r.m.noteCreated()
 		if n, ok := parseCampaignID(rec.ID); ok && n > maxSeq {
 			maxSeq = n
 		}

@@ -4,8 +4,10 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"imc2/internal/imcerr"
+	"imc2/internal/obs"
 )
 
 // ErrQueueFull reports an admission queue at its configured depth
@@ -28,6 +30,48 @@ type Config struct {
 	// of waiting. 0 means unbounded queueing. Only meaningful with a
 	// concurrency bound (without one nothing ever queues).
 	MaxQueuedSettles int
+	// Obs, when non-nil, registers the scheduler's metrics
+	// (imc2_sched_*): admission outcome counters, depth gauges, and
+	// queue-wait / run-duration histograms. Nil disables instrumentation
+	// entirely — no clocks are read.
+	Obs *obs.Registry
+}
+
+// metrics holds the scheduler's instruments. The zero value (all nil)
+// is the uninstrumented scheduler: every method call below no-ops.
+type metrics struct {
+	admitted    *obs.Counter
+	completed   *obs.Counter
+	rejected    *obs.Counter
+	overflowed  *obs.Counter
+	queueWait   *obs.Histogram
+	runDuration *obs.Histogram
+}
+
+func newMetrics(r *obs.Registry, s *Scheduler) (m metrics) {
+	if r == nil {
+		return m
+	}
+	m.admitted = r.Counter("imc2_sched_settles_admitted_total",
+		"Settles granted an admission slot.")
+	m.completed = r.Counter("imc2_sched_settles_completed_total",
+		"Settles that released their admission slot.")
+	m.rejected = r.Counter("imc2_sched_settles_rejected_total",
+		"Settles abandoned while queued (context expiry).")
+	m.overflowed = r.Counter("imc2_sched_settles_overflowed_total",
+		"Settles rejected because the admission queue was at its depth bound.")
+	m.queueWait = r.Histogram("imc2_sched_queue_wait_seconds",
+		"Admission wait of settles that queued (immediate admissions are not observed).",
+		obs.LatencyBuckets)
+	m.runDuration = r.Histogram("imc2_sched_settle_run_seconds",
+		"Wall time an admitted settle held its slot.", obs.LatencyBuckets)
+	r.GaugeFunc("imc2_sched_active_settles_count",
+		"Settles currently holding an admission slot.",
+		func() float64 { return float64(s.Stats().ActiveSettles) })
+	r.GaugeFunc("imc2_sched_queued_settles_count",
+		"Settles currently waiting for admission.",
+		func() float64 { return float64(s.Stats().QueuedSettles) })
+	return m
 }
 
 // AdmissionState is a campaign's position in the settle scheduler.
@@ -104,6 +148,11 @@ type Scheduler struct {
 	running map[string]int
 	queue   []*waiter
 	stats   Stats
+
+	// m holds the obs instruments; timed gates every clock read so the
+	// uninstrumented scheduler never calls time.Now.
+	m     metrics
+	timed bool
 }
 
 // waiter is one settle waiting for admission.
@@ -111,6 +160,9 @@ type waiter struct {
 	key      string
 	ready    chan struct{}
 	admitted bool // set under Scheduler.mu when the slot is granted
+	// enqueuedAt is set (only on instrumented schedulers) when the
+	// waiter joins the queue, for the queue-wait histogram.
+	enqueuedAt time.Time
 }
 
 // New builds a scheduler and starts its shared pool.
@@ -127,6 +179,8 @@ func New(cfg Config) *Scheduler {
 	if s.maxQueued < 0 {
 		s.maxQueued = 0
 	}
+	s.m = newMetrics(cfg.Obs, s)
+	s.timed = cfg.Obs != nil
 	return s
 }
 
@@ -150,14 +204,18 @@ func (s *Scheduler) Acquire(ctx context.Context, key string) (release func(), er
 	if s.maxSettles == 0 || (len(s.queue) == 0 && s.active < s.maxSettles) {
 		s.admitLocked(key)
 		s.mu.Unlock()
-		return func() { s.release(key) }, nil
+		return s.releaseFunc(key), nil
 	}
 	if s.maxQueued > 0 && len(s.queue) >= s.maxQueued {
 		s.stats.TotalOverflowed++
 		s.mu.Unlock()
+		s.m.overflowed.Inc()
 		return nil, ErrQueueFull
 	}
 	w := &waiter{key: key, ready: make(chan struct{})}
+	if s.timed {
+		w.enqueuedAt = time.Now()
+	}
 	s.queue = append(s.queue, w)
 	if q := len(s.queue); q > s.stats.PeakQueuedSettles {
 		s.stats.PeakQueuedSettles = q
@@ -166,14 +224,16 @@ func (s *Scheduler) Acquire(ctx context.Context, key string) (release func(), er
 
 	select {
 	case <-w.ready:
-		return func() { s.release(key) }, nil
+		s.observeQueueWait(w)
+		return s.releaseFunc(key), nil
 	case <-ctx.Done():
 		s.mu.Lock()
 		if w.admitted {
 			// The slot was granted in the instant ctx fired; keep it —
 			// the settle proceeds rather than wasting the admission.
 			s.mu.Unlock()
-			return func() { s.release(key) }, nil
+			s.observeQueueWait(w)
+			return s.releaseFunc(key), nil
 		}
 		for i, qw := range s.queue {
 			if qw == w {
@@ -183,7 +243,28 @@ func (s *Scheduler) Acquire(ctx context.Context, key string) (release func(), er
 		}
 		s.stats.TotalRejected++
 		s.mu.Unlock()
+		s.m.rejected.Inc()
 		return nil, ctx.Err()
+	}
+}
+
+// releaseFunc wraps release for one admission; on instrumented
+// schedulers it also times how long the slot was held.
+func (s *Scheduler) releaseFunc(key string) func() {
+	if !s.timed {
+		return func() { s.release(key) }
+	}
+	start := time.Now()
+	return func() {
+		s.m.runDuration.Observe(time.Since(start).Seconds())
+		s.release(key)
+	}
+}
+
+// observeQueueWait records how long a queued waiter waited.
+func (s *Scheduler) observeQueueWait(w *waiter) {
+	if s.timed {
+		s.m.queueWait.Observe(time.Since(w.enqueuedAt).Seconds())
 	}
 }
 
@@ -192,6 +273,7 @@ func (s *Scheduler) admitLocked(key string) {
 	s.active++
 	s.running[key]++
 	s.stats.TotalAdmitted++
+	s.m.admitted.Inc()
 	if s.active > s.stats.PeakActiveSettles {
 		s.stats.PeakActiveSettles = s.active
 	}
@@ -206,6 +288,7 @@ func (s *Scheduler) release(key string) {
 		delete(s.running, key)
 	}
 	s.stats.TotalCompleted++
+	s.m.completed.Inc()
 	for len(s.queue) > 0 && (s.maxSettles == 0 || s.active < s.maxSettles) {
 		w := s.queue[0]
 		s.queue = s.queue[1:]
@@ -252,6 +335,7 @@ func (s *Scheduler) NoteOverflow() {
 	s.mu.Lock()
 	s.stats.TotalOverflowed++
 	s.mu.Unlock()
+	s.m.overflowed.Inc()
 }
 
 // QueueFull reports whether a new settle would be rejected right now

@@ -194,10 +194,22 @@ type SuspectPairRecord struct {
 	BtoA    float64 `json:"b_to_a"`
 }
 
+// IterationRecord is the durable form of one settle iteration's
+// telemetry (truth.IterationStats).
+type IterationRecord struct {
+	Iteration           int     `json:"iteration"`
+	DependenceSeconds   float64 `json:"dependence_seconds,omitempty"`
+	IndependenceSeconds float64 `json:"independence_seconds,omitempty"`
+	EstimateSeconds     float64 `json:"estimate_seconds,omitempty"`
+	Changed             int     `json:"changed"`
+	Converged           bool    `json:"converged,omitempty"`
+}
+
 // AuditRecord is the durable form of a copier audit.
 type AuditRecord struct {
 	Pairs        []SuspectPairRecord `json:"pairs,omitempty"`
 	CopierScores map[string]float64  `json:"copier_scores,omitempty"`
+	Convergence  []IterationRecord   `json:"convergence,omitempty"`
 }
 
 // AuditFromPlatform converts a live audit to its durable form. Nil in,
@@ -210,6 +222,16 @@ func AuditFromPlatform(a *platform.Audit) *AuditRecord {
 	for _, pr := range a.Pairs {
 		rec.Pairs = append(rec.Pairs, SuspectPairRecord{
 			WorkerA: pr.WorkerA, WorkerB: pr.WorkerB, AtoB: pr.AtoB, BtoA: pr.BtoA,
+		})
+	}
+	for _, it := range a.Convergence {
+		rec.Convergence = append(rec.Convergence, IterationRecord{
+			Iteration:           it.Iteration,
+			DependenceSeconds:   it.DependenceSeconds,
+			IndependenceSeconds: it.IndependenceSeconds,
+			EstimateSeconds:     it.EstimateSeconds,
+			Changed:             it.Changed,
+			Converged:           it.Converged,
 		})
 	}
 	return rec
@@ -225,6 +247,16 @@ func (a *AuditRecord) ToPlatform() *platform.Audit {
 	for _, pr := range a.Pairs {
 		out.Pairs = append(out.Pairs, platform.SuspectPair{
 			WorkerA: pr.WorkerA, WorkerB: pr.WorkerB, AtoB: pr.AtoB, BtoA: pr.BtoA,
+		})
+	}
+	for _, it := range a.Convergence {
+		out.Convergence = append(out.Convergence, truth.IterationStats{
+			Iteration:           it.Iteration,
+			DependenceSeconds:   it.DependenceSeconds,
+			IndependenceSeconds: it.IndependenceSeconds,
+			EstimateSeconds:     it.EstimateSeconds,
+			Changed:             it.Changed,
+			Converged:           it.Converged,
 		})
 	}
 	return out

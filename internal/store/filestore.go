@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"imc2/internal/imcerr"
+	"imc2/internal/obs"
 )
 
 // FileStore is the event-sourced persistence backend: an append-only
@@ -41,6 +42,51 @@ type FileStore struct {
 	recoveredAt        time.Time
 	snapshotsWritten   uint64
 	snapshotErr        error
+
+	// m holds the obs instruments; timed gates every clock read so the
+	// uninstrumented store's append path never calls time.Now.
+	m     storeMetrics
+	timed bool
+}
+
+// storeMetrics holds the store's instruments. The zero value (all nil)
+// is the uninstrumented store: every method call below no-ops.
+type storeMetrics struct {
+	appends      *obs.Counter
+	appendDur    *obs.Histogram
+	fsyncs       *obs.Counter
+	fsyncDur     *obs.Histogram
+	snapshots    *obs.Counter
+	snapshotDur  *obs.Histogram
+	writtenBytes *obs.Counter
+	replayed     *obs.Counter
+}
+
+func newStoreMetrics(r *obs.Registry, s *FileStore) (m storeMetrics) {
+	if r == nil {
+		return m
+	}
+	m.appends = r.Counter("imc2_store_appends_total",
+		"Events made durable in the WAL.")
+	m.appendDur = r.Histogram("imc2_store_append_seconds",
+		"Append critical-section latency (apply, encode, write, fsync policy).",
+		obs.LatencyBuckets)
+	m.fsyncs = r.Counter("imc2_store_fsyncs_total",
+		"fsync calls on WAL segments.")
+	m.fsyncDur = r.Histogram("imc2_store_fsync_seconds",
+		"WAL fsync latency.", obs.LatencyBuckets)
+	m.snapshots = r.Counter("imc2_store_snapshots_total",
+		"Snapshots folded (including WAL rotation and compaction).")
+	m.snapshotDur = r.Histogram("imc2_store_snapshot_seconds",
+		"Snapshot fold latency.", obs.LatencyBuckets)
+	m.writtenBytes = r.Counter("imc2_store_written_bytes_total",
+		"Bytes of WAL records written.")
+	m.replayed = r.Counter("imc2_store_replayed_events_total",
+		"WAL events replayed during recovery.")
+	r.GaugeFunc("imc2_store_wal_tail_bytes",
+		"Bytes in the live WAL segment (resets on rotation).",
+		func() float64 { return float64(s.Stats().WALBytes) })
+	return m
 }
 
 // Open creates or recovers a file store in opts.Dir: it loads the
@@ -67,6 +113,8 @@ func Open(opts Options) (*FileStore, error) {
 		fsync:         opts.Fsync,
 		snapshotEvery: snapshotEvery,
 	}
+	s.m = newStoreMetrics(opts.Obs, s)
+	s.timed = opts.Obs != nil
 	if err := s.recover(); err != nil {
 		return nil, err
 	}
@@ -110,6 +158,7 @@ func (s *FileStore) recover() error {
 			}
 			s.lastSeq = ev.Seq
 			s.recoveredEvents++
+			s.m.replayed.Inc()
 			return nil
 		})
 		if err != nil {
@@ -204,6 +253,10 @@ func (s *FileStore) RecoveredAt() time.Time {
 func (s *FileStore) Append(ev Event) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	var start time.Time
+	if s.timed {
+		start = time.Now()
+	}
 	if s.closed {
 		return imcerr.New(imcerr.CodeConflict, "store: appending to a closed store")
 	}
@@ -228,13 +281,18 @@ func (s *FileStore) Append(ev Event) error {
 		return s.fail(fmt.Errorf("store: writing event %d: %w", ev.Seq, err))
 	}
 	if s.fsync == FsyncAlways || (s.fsync == FsyncSettle && obligationEvent(ev.Type)) {
-		if err := s.f.Sync(); err != nil {
+		if err := s.syncWAL(); err != nil {
 			return s.fail(fmt.Errorf("store: syncing event %d: %w", ev.Seq, err))
 		}
 	}
 	s.lastSeq = ev.Seq
 	s.walBytes += int64(len(rec))
 	s.appended++
+	s.m.appends.Inc()
+	s.m.writtenBytes.Add(uint64(len(rec)))
+	if s.timed {
+		s.m.appendDur.Observe(time.Since(start).Seconds())
+	}
 
 	if s.snapshotEvery > 0 && s.lastSeq-s.lastSnapshotSeq >= uint64(s.snapshotEvery) {
 		// Snapshot failures do not fail the append — the event is
@@ -243,6 +301,19 @@ func (s *FileStore) Append(ev Event) error {
 		s.snapshotErr = s.snapshotLocked()
 	}
 	return nil
+}
+
+// syncWAL fsyncs the live segment, timing the call on instrumented
+// stores.
+func (s *FileStore) syncWAL() error {
+	if !s.timed {
+		return s.f.Sync()
+	}
+	start := time.Now()
+	err := s.f.Sync()
+	s.m.fsyncDur.Observe(time.Since(start).Seconds())
+	s.m.fsyncs.Inc()
+	return err
 }
 
 // obligationEvent reports whether the event creates or discharges a
@@ -266,16 +337,22 @@ func (s *FileStore) fail(err error) error {
 // skipping a damaged snapshot costs replay time, never data. Called
 // with s.mu held.
 func (s *FileStore) snapshotLocked() error {
+	var start time.Time
+	if s.timed {
+		start = time.Now()
+		defer func() { s.m.snapshotDur.Observe(time.Since(start).Seconds()) }()
+	}
 	if err := writeSnapshot(s.dir, s.lastSeq, s.state); err != nil {
 		return err
 	}
 	s.snapshotsWritten++
+	s.m.snapshots.Inc()
 	retain := s.lastSnapshotSeq // the generation kept as fallback
 	s.lastSnapshotSeq = s.lastSeq
 
 	// Rotate: further appends go to a fresh segment so compaction can
 	// reason about whole files.
-	if err := s.f.Sync(); err != nil {
+	if err := s.syncWAL(); err != nil {
 		return fmt.Errorf("store: syncing segment before rotation: %w", err)
 	}
 	next, err := os.OpenFile(filepath.Join(s.dir, walName(s.lastSeq+1)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -355,7 +432,7 @@ func (s *FileStore) Close() error {
 	s.closed = true
 	var firstErr error
 	if s.failed == nil {
-		if err := s.f.Sync(); err != nil && firstErr == nil {
+		if err := s.syncWAL(); err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("store: syncing on close: %w", err)
 		}
 		if s.lastSeq != s.lastSnapshotSeq {

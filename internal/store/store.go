@@ -1,6 +1,10 @@
 package store
 
-import "time"
+import (
+	"time"
+
+	"imc2/internal/obs"
+)
 
 // Store is what the registry needs from a persistence backend: ordered,
 // durable event appends. The registry treats a nil Store as "in-memory
@@ -72,6 +76,11 @@ type Options struct {
 	SnapshotEvery int
 	// Fsync selects the WAL fsync policy (default FsyncSettle).
 	Fsync FsyncPolicy
+	// Obs, when non-nil, registers the store's metrics (imc2_store_*):
+	// append/fsync/snapshot counters and latency histograms, bytes
+	// written, WAL tail size, and replay counters. Nil disables
+	// instrumentation entirely — no clocks are read on the append path.
+	Obs *obs.Registry
 }
 
 // defaultSnapshotEvery bounds replay work on restart without making

@@ -3,6 +3,7 @@ package truth
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"imc2/internal/model"
 	"imc2/internal/numeric"
@@ -143,11 +144,26 @@ func runDATE(ds *model.Dataset, opt Options, fm FalseValueModel, method Method) 
 		iterations = k + 1
 		copy(prev, s.truth)
 
-		s.computeDependence()                     // step 1: eq. 7–15
-		s.computeIndependence(method == MethodED) // step 2: eq. 16
-		s.estimate()                              // step 3: eq. 17–21
+		if opt.Trace == nil {
+			s.computeDependence()                     // step 1: eq. 7–15
+			s.computeIndependence(method == MethodED) // step 2: eq. 16
+			s.estimate()                              // step 3: eq. 17–21
+			if equalTruth(prev, s.truth) {
+				converged = true
+				break
+			}
+			continue
+		}
 
-		if equalTruth(prev, s.truth) {
+		var it IterationStats
+		it.Iteration = iterations
+		it.DependenceSeconds = timePass(s.computeDependence)
+		it.IndependenceSeconds = timePass(func() { s.computeIndependence(method == MethodED) })
+		it.EstimateSeconds = timePass(s.estimate)
+		it.Changed = countChanged(prev, s.truth)
+		it.Converged = it.Changed == 0
+		opt.Trace.ObserveIteration(it)
+		if it.Converged {
 			converged = true
 			break
 		}
@@ -171,8 +187,23 @@ func runNC(ds *model.Dataset, opt Options, fm FalseValueModel) *Result {
 	for k := 0; k < opt.MaxIterations; k++ {
 		iterations = k + 1
 		copy(prev, s.truth)
-		s.estimate()
-		if equalTruth(prev, s.truth) {
+
+		if opt.Trace == nil {
+			s.estimate()
+			if equalTruth(prev, s.truth) {
+				converged = true
+				break
+			}
+			continue
+		}
+
+		var it IterationStats
+		it.Iteration = iterations
+		it.EstimateSeconds = timePass(s.estimate)
+		it.Changed = countChanged(prev, s.truth)
+		it.Converged = it.Changed == 0
+		opt.Trace.ObserveIteration(it)
+		if it.Converged {
 			converged = true
 			break
 		}
@@ -185,6 +216,13 @@ func runNC(ds *model.Dataset, opt Options, fm FalseValueModel) *Result {
 		Converged:    converged,
 		Method:       MethodNC,
 	}
+}
+
+// timePass runs one pass under a wall clock; only traced runs call it.
+func timePass(fn func()) float64 {
+	start := time.Now()
+	fn()
+	return time.Since(start).Seconds()
 }
 
 func equalTruth(a, b []int32) bool {

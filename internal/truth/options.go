@@ -107,6 +107,13 @@ type Options struct {
 	// to 1 so per-method wall-clock comparisons stay honest.
 	Parallelism int
 
+	// Trace, when non-nil, observes the run iteration by iteration:
+	// per-pass wall time and the convergence delta (see IterationStats).
+	// Nil — the default — disables tracing entirely; the engine then
+	// takes no timestamps, so the untraced loop is unchanged. Tracing
+	// never affects results.
+	Trace Trace
+
 	// Executor, when non-nil, replaces the engine's built-in per-run
 	// goroutine pool: every data-parallel pass is submitted to it instead
 	// of spawning goroutines, with Parallelism as the requested slot

@@ -1,0 +1,86 @@
+package truth
+
+// IterationStats is one settle iteration's telemetry: how long each of
+// Algorithm 1's passes took and how far the truth estimate moved.
+// Methods that skip a pass (NC runs only estimation) report zero for
+// the passes they skip.
+type IterationStats struct {
+	// Iteration is 1-based, matching Result.Iterations.
+	Iteration int
+	// DependenceSeconds is step 1's wall time (eq. 7–15).
+	DependenceSeconds float64
+	// IndependenceSeconds is step 2's wall time (eq. 16).
+	IndependenceSeconds float64
+	// EstimateSeconds is step 3's wall time (eq. 17–21).
+	EstimateSeconds float64
+	// Changed counts tasks whose estimated truth moved this iteration —
+	// the convergence delta. Zero means the estimate is stable.
+	Changed int
+	// Converged is true on the final iteration of a converged run
+	// (equivalently: Changed == 0).
+	Converged bool
+}
+
+// Trace observes a truth-discovery run iteration by iteration. A nil
+// Trace in Options disables tracing entirely: the engine then takes no
+// timestamps and counts no deltas, so the untraced hot loop is exactly
+// the pre-trace loop. Implementations are called synchronously from the
+// settle goroutine and must not block.
+//
+// Tracing never changes results: the estimate update is the same code
+// path traced or not, only observed.
+type Trace interface {
+	ObserveIteration(IterationStats)
+}
+
+// Recorder is a Trace that retains every iteration in order — the shape
+// the platform embeds in a settle report's audit.
+type Recorder struct {
+	Iterations []IterationStats
+}
+
+// ObserveIteration appends the iteration's stats.
+func (r *Recorder) ObserveIteration(s IterationStats) {
+	r.Iterations = append(r.Iterations, s)
+}
+
+// multiTrace fans one run out to several sinks.
+type multiTrace []Trace
+
+func (m multiTrace) ObserveIteration(s IterationStats) {
+	for _, t := range m {
+		t.ObserveIteration(s)
+	}
+}
+
+// MultiTrace combines traces into one, dropping nils. It returns nil
+// when nothing remains — keeping the "nil means free" contract — and
+// the sole survivor unwrapped when only one remains.
+func MultiTrace(traces ...Trace) Trace {
+	kept := make(multiTrace, 0, len(traces))
+	for _, t := range traces {
+		if t != nil {
+			kept = append(kept, t)
+		}
+	}
+	switch len(kept) {
+	case 0:
+		return nil
+	case 1:
+		return kept[0]
+	}
+	return kept
+}
+
+// countChanged returns the number of positions where a and b differ —
+// the traced variant of equalTruth, paying a full scan only when a
+// Trace is installed.
+func countChanged(a, b []int32) int {
+	n := 0
+	for i := range a {
+		if a[i] != b[i] {
+			n++
+		}
+	}
+	return n
+}

@@ -176,6 +176,16 @@ func (c *Client) SchedulerStats(ctx context.Context) (*SchedulerStats, error) {
 	return &out, nil
 }
 
+// Stats fetches the unified platform snapshot (GET /v2/stats): the
+// scheduler, store, and registry sections in one poll.
+func (c *Client) Stats(ctx context.Context) (*PlatformStats, error) {
+	var out PlatformStats
+	if err := c.do(ctx, "GET", "/v2/stats", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // StoreStats fetches the durable campaign store's counters; Enabled is
 // false when the server runs in-memory only.
 func (c *Client) StoreStats(ctx context.Context) (*StoreStats, error) {

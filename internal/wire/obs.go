@@ -1,0 +1,121 @@
+package wire
+
+import (
+	"log/slog"
+	"net/http"
+	"strconv"
+	"time"
+
+	"imc2/internal/imcerr"
+	"imc2/internal/obs"
+)
+
+// ServerOption configures a Server beyond its required dependencies.
+type ServerOption func(*Server)
+
+// WithObs registers the HTTP layer's metrics (imc2_wire_*) on o and
+// wraps the handler in the instrumentation middleware: request count
+// and latency by route pattern, in-flight gauge, and an error counter
+// by machine-readable code. A nil o is a no-op.
+func WithObs(o *obs.Registry) ServerOption {
+	return func(s *Server) { s.m = newWireMetrics(o) }
+}
+
+// WithSlog attaches a structured logger: the middleware emits one
+// record per request (method, path, route, status, duration). A nil
+// logger is a no-op.
+func WithSlog(l *slog.Logger) ServerOption {
+	return func(s *Server) { s.slogger = l }
+}
+
+// wireMetrics holds the HTTP layer's instruments. A nil *wireMetrics is
+// the uninstrumented server.
+type wireMetrics struct {
+	requests *obs.CounterVec   // route, status
+	latency  *obs.HistogramVec // route
+	inflight *obs.Gauge
+	errors   *obs.CounterVec // code
+}
+
+func newWireMetrics(o *obs.Registry) *wireMetrics {
+	if o == nil {
+		return nil
+	}
+	return &wireMetrics{
+		requests: o.CounterVec("imc2_wire_requests_total",
+			"HTTP requests served, by route pattern and status code.",
+			"route", "status"),
+		latency: o.HistogramVec("imc2_wire_request_seconds",
+			"HTTP request latency by route pattern.",
+			obs.LatencyBuckets, "route"),
+		inflight: o.Gauge("imc2_wire_inflight_requests_count",
+			"HTTP requests currently being served."),
+		errors: o.CounterVec("imc2_wire_errors_total",
+			"Error responses written, by machine-readable imcerr code.",
+			"code"),
+	}
+}
+
+// statusWriter captures the response status for the middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+// instrument wraps the router with the metrics/logging middleware. The
+// uninstrumented, unlogged server serves the bare mux — zero overhead.
+// The route label is the mux pattern (e.g. "GET /v2/campaigns/{id}"),
+// never the raw path, so label cardinality stays bounded by the route
+// table; requests matching no route are labeled "unmatched".
+func (s *Server) instrument(mux *http.ServeMux) http.Handler {
+	if s.m == nil && s.slogger == nil {
+		return mux
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, pattern := mux.Handler(r)
+		if pattern == "" {
+			pattern = "unmatched"
+		}
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		if s.m != nil {
+			s.m.inflight.Inc()
+		}
+		mux.ServeHTTP(sw, r)
+		elapsed := time.Since(start)
+		if s.m != nil {
+			s.m.inflight.Dec()
+			s.m.requests.With(pattern, strconv.Itoa(sw.status)).Inc()
+			s.m.latency.With(pattern).Observe(elapsed.Seconds())
+		}
+		if s.slogger != nil {
+			s.slogger.Info("request",
+				"method", r.Method,
+				"path", r.URL.Path,
+				"route", pattern,
+				"status", sw.status,
+				"duration_ms", float64(elapsed.Microseconds())/1e3)
+		}
+	})
+}
+
+// writeError is the single place an error becomes an HTTP response:
+// code → status via statusOf, the Retry-After hint on backpressure, and
+// the error counter — every handler routes failures through here, so
+// middleware and metrics observe one consistent mapping.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	code := imcerr.CodeOf(err)
+	if s.m != nil {
+		s.m.errors.With(string(code)).Inc()
+	}
+	if code == imcerr.CodeUnavailable {
+		// Backpressure: tell retrying clients when to come back.
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+	}
+	writeJSON(w, statusOf(code), errorBody{Error: err.Error(), Code: string(code)})
+}

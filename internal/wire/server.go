@@ -17,6 +17,7 @@
 //	POST /v2/campaigns/{id}/close        begin async settle (poll the snapshot)
 //	GET  /v2/campaigns/{id}/report       settled report
 //	GET  /v2/campaigns/{id}/audit        copier audit of a settled campaign
+//	GET  /v2/stats                       unified platform stats (scheduler, store, registry)
 //	GET  /v2/scheduler                   settle-scheduler stats (admission, queue)
 //	GET  /v2/store                       durable-store stats (WAL, snapshots, recovery)
 //	GET  /v2/healthz                     liveness
@@ -54,8 +55,8 @@ import (
 	"context"
 	"encoding/json"
 	"log"
+	"log/slog"
 	"net/http"
-	"strconv"
 	"sync"
 
 	"imc2/internal/imcerr"
@@ -97,6 +98,12 @@ type Server struct {
 	defaultID string
 	logf      func(format string, args ...any)
 
+	// m holds the HTTP layer's obs instruments (WithObs); slogger, when
+	// non-nil, receives one structured record per request (WithSlog).
+	// Both nil: Handler returns the bare router.
+	m       *wireMetrics
+	slogger *slog.Logger
+
 	// ctx bounds asynchronous settles; Shutdown cancels it and waits.
 	ctx     context.Context
 	cancel  context.CancelFunc
@@ -106,7 +113,7 @@ type Server struct {
 // NewServer wraps a single pre-built campaign — the /v1 world. The
 // campaign is adopted into a fresh registry as the default campaign, so
 // the /v2 protocol is available too. logf may be nil to silence logging.
-func NewServer(p *platform.Platform, cfg platform.Config, logf func(string, ...any)) *Server {
+func NewServer(p *platform.Platform, cfg platform.Config, logf func(string, ...any), opts ...ServerOption) *Server {
 	reg := registry.New()
 	// Adoption into a fresh in-memory registry cannot fail: there is no
 	// store to refuse the platform and no storeErr to surface.
@@ -114,19 +121,24 @@ func NewServer(p *platform.Platform, cfg platform.Config, logf func(string, ...a
 	if err != nil {
 		panic("wire: adopting into a fresh in-memory registry failed: " + err.Error())
 	}
-	return NewRegistryServer(reg, c.ID(), cfg, logf)
+	return NewRegistryServer(reg, c.ID(), cfg, logf, opts...)
 }
 
 // NewRegistryServer serves an existing registry. defaultID designates the
 // campaign behind the /v1 shim (empty: /v1 campaign endpoints answer 404).
 // cfg is the settle configuration applied to campaigns created over /v2.
-// logf may be nil to silence logging.
-func NewRegistryServer(reg *registry.Registry, defaultID string, cfg platform.Config, logf func(string, ...any)) *Server {
+// logf may be nil to silence logging. Options attach observability:
+// WithObs for metrics, WithSlog for structured request logs.
+func NewRegistryServer(reg *registry.Registry, defaultID string, cfg platform.Config, logf func(string, ...any), opts ...ServerOption) *Server {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Server{reg: reg, cfg: cfg, defaultID: defaultID, logf: logf, ctx: ctx, cancel: cancel}
+	s := &Server{reg: reg, cfg: cfg, defaultID: defaultID, logf: logf, ctx: ctx, cancel: cancel}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
 }
 
 // Registry exposes the campaign store the server serves.
@@ -208,10 +220,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v2/campaigns/{id}/close", s.handleCloseCampaign)
 	mux.HandleFunc("GET /v2/campaigns/{id}/report", s.handleCampaignReport)
 	mux.HandleFunc("GET /v2/campaigns/{id}/audit", s.handleCampaignAudit)
+	mux.HandleFunc("GET /v2/stats", s.handleStats)
 	mux.HandleFunc("GET /v2/scheduler", s.handleSchedulerStats)
 	mux.HandleFunc("GET /v2/store", s.handleStoreStats)
 	mux.HandleFunc("GET /v2/healthz", healthz)
-	return mux
+	return s.instrument(mux)
 }
 
 // defaultCampaign resolves the campaign behind the /v1 shim.
@@ -225,7 +238,7 @@ func (s *Server) defaultCampaign() (*registry.Campaign, error) {
 func (s *Server) handleTasks(w http.ResponseWriter, r *http.Request) {
 	c, err := s.defaultCampaign()
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, c.Tasks())
@@ -234,16 +247,16 @@ func (s *Server) handleTasks(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	c, err := s.defaultCampaign()
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	var sub Submission
 	if err := json.NewDecoder(r.Body).Decode(&sub); err != nil {
-		writeError(w, imcerr.Wrapf(imcerr.CodeInvalid, err, "malformed submission"))
+		s.writeError(w, imcerr.Wrapf(imcerr.CodeInvalid, err, "malformed submission"))
 		return
 	}
 	if err := c.Submit(toPlatformSubmission(sub)); err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	s.logf("submission accepted: worker=%s tasks=%d", sub.Worker, len(sub.Answers))
@@ -259,12 +272,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleClose(w http.ResponseWriter, r *http.Request) {
 	c, err := s.defaultCampaign()
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	rep, err := c.Settle(s.ctx)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	s.logf("campaign settled: winners=%d social_cost=%.3f", len(rep.Winners), rep.SocialCost)
@@ -274,12 +287,12 @@ func (s *Server) handleClose(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	c, err := s.defaultCampaign()
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	rep, err := c.Report()
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, toWireReport(rep))
@@ -293,21 +306,34 @@ type SuspectPair struct {
 	BtoA    float64 `json:"b_to_a"`
 }
 
+// IterationTelemetry mirrors truth.IterationStats for the wire: one
+// settle iteration's pass wall times and convergence delta.
+type IterationTelemetry struct {
+	Iteration           int     `json:"iteration"`
+	DependenceSeconds   float64 `json:"dependence_seconds,omitempty"`
+	IndependenceSeconds float64 `json:"independence_seconds,omitempty"`
+	EstimateSeconds     float64 `json:"estimate_seconds,omitempty"`
+	Changed             int     `json:"changed"`
+	Converged           bool    `json:"converged,omitempty"`
+}
+
 // AuditReport is the copier-audit view of a settled campaign.
 type AuditReport struct {
 	Pairs        []SuspectPair      `json:"pairs"`
 	CopierScores map[string]float64 `json:"copier_scores"`
+	// Convergence is the settle's per-iteration telemetry, in order.
+	Convergence []IterationTelemetry `json:"convergence,omitempty"`
 }
 
 func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 	c, err := s.defaultCampaign()
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	audit, err := c.Audit()
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, toWireAudit(audit))
@@ -338,6 +364,16 @@ func toWireAudit(audit *platform.Audit) *AuditReport {
 			WorkerA: pr.WorkerA, WorkerB: pr.WorkerB, AtoB: pr.AtoB, BtoA: pr.BtoA,
 		})
 	}
+	for _, it := range audit.Convergence {
+		out.Convergence = append(out.Convergence, IterationTelemetry{
+			Iteration:           it.Iteration,
+			DependenceSeconds:   it.DependenceSeconds,
+			IndependenceSeconds: it.IndependenceSeconds,
+			EstimateSeconds:     it.EstimateSeconds,
+			Changed:             it.Changed,
+			Converged:           it.Converged,
+		})
+	}
 	return out
 }
 
@@ -364,15 +400,6 @@ func statusOf(code imcerr.Code) int {
 // rejections. A settle takes seconds at realistic scale, so one second
 // spreads retries without making well-behaved clients wait long.
 const retryAfterSeconds = 1
-
-func writeError(w http.ResponseWriter, err error) {
-	code := imcerr.CodeOf(err)
-	if code == imcerr.CodeUnavailable {
-		// Backpressure: tell retrying clients when to come back.
-		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
-	}
-	writeJSON(w, statusOf(code), errorBody{Error: err.Error(), Code: string(code)})
-}
 
 func writeJSON(w http.ResponseWriter, status int, body any) {
 	w.Header().Set("Content-Type", "application/json")

@@ -198,16 +198,15 @@ func (s *Server) campaignInfo(c *registry.Campaign) CampaignInfo {
 	return info
 }
 
-// handleSchedulerStats serves the registry-wide settle scheduler's
-// counters; a registry without a scheduler answers Enabled=false.
-func (s *Server) handleSchedulerStats(w http.ResponseWriter, r *http.Request) {
+// schedulerStats snapshots the registry-wide settle scheduler; a
+// registry without one yields Enabled=false.
+func (s *Server) schedulerStats() SchedulerStats {
 	sc := s.reg.Scheduler()
 	if sc == nil {
-		writeJSON(w, http.StatusOK, SchedulerStats{})
-		return
+		return SchedulerStats{}
 	}
 	st := sc.Stats()
-	writeJSON(w, http.StatusOK, SchedulerStats{
+	return SchedulerStats{
 		Enabled:              true,
 		Workers:              st.Workers,
 		MaxConcurrentSettles: st.MaxConcurrentSettles,
@@ -220,17 +219,16 @@ func (s *Server) handleSchedulerStats(w http.ResponseWriter, r *http.Request) {
 		TotalCompleted:       st.TotalCompleted,
 		TotalRejected:        st.TotalRejected,
 		TotalOverflowed:      st.TotalOverflowed,
-	})
+	}
 }
 
-// handleStoreStats serves the durable campaign store's counters; a
-// registry without a store answers Enabled=false.
-func (s *Server) handleStoreStats(w http.ResponseWriter, r *http.Request) {
+// storeStats snapshots the durable campaign store; a registry without
+// one (or with a store that exposes no counters) yields Enabled=false.
+func (s *Server) storeStats() StoreStats {
 	type statser interface{ Stats() store.Stats }
 	fs, ok := s.reg.Store().(statser)
 	if !ok {
-		writeJSON(w, http.StatusOK, StoreStats{})
-		return
+		return StoreStats{}
 	}
 	st := fs.Stats()
 	out := StoreStats{
@@ -252,7 +250,53 @@ func (s *Server) handleStoreStats(w http.ResponseWriter, r *http.Request) {
 	if !st.RecoveredAt.IsZero() {
 		out.RecoveredAt = st.RecoveredAt.UTC().Format(time.RFC3339)
 	}
-	writeJSON(w, http.StatusOK, out)
+	return out
+}
+
+// RegistryStats is the wire view of the campaign registry itself: how
+// many campaigns it hosts, by lifecycle state.
+type RegistryStats struct {
+	Campaigns int            `json:"campaigns"`
+	States    map[string]int `json:"states"`
+}
+
+func (s *Server) registryStats() RegistryStats {
+	campaigns, total := s.reg.List(0, 0)
+	out := RegistryStats{Campaigns: total, States: make(map[string]int)}
+	for _, c := range campaigns {
+		out.States[c.State().String()]++
+	}
+	return out
+}
+
+// PlatformStats is the unified GET /v2/stats body: one poll covers the
+// scheduler, the store, and the registry. The /v2/scheduler and
+// /v2/store endpoints remain as aliases serving the matching section.
+type PlatformStats struct {
+	Scheduler SchedulerStats `json:"scheduler"`
+	Store     StoreStats     `json:"store"`
+	Registry  RegistryStats  `json:"registry"`
+}
+
+// handleStats serves the unified platform snapshot.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, PlatformStats{
+		Scheduler: s.schedulerStats(),
+		Store:     s.storeStats(),
+		Registry:  s.registryStats(),
+	})
+}
+
+// handleSchedulerStats serves the registry-wide settle scheduler's
+// counters; a registry without a scheduler answers Enabled=false.
+func (s *Server) handleSchedulerStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.schedulerStats())
+}
+
+// handleStoreStats serves the durable campaign store's counters; a
+// registry without a store answers Enabled=false.
+func (s *Server) handleStoreStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.storeStats())
 }
 
 // campaign resolves the {id} path parameter.
@@ -287,21 +331,21 @@ func decodeCreateCampaignRequest(body io.Reader) (CreateCampaignRequest, error) 
 func (s *Server) handleCreateCampaign(w http.ResponseWriter, r *http.Request) {
 	req, err := decodeCreateCampaignRequest(r.Body)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	tasks := req.Tasks
 	if req.Spec != nil {
 		g, err := gen.NewCampaign(*req.Spec, randx.New(req.Seed))
 		if err != nil {
-			writeError(w, imcerr.Wrapf(imcerr.CodeInvalid, err, "generating campaign"))
+			s.writeError(w, imcerr.Wrapf(imcerr.CodeInvalid, err, "generating campaign"))
 			return
 		}
 		tasks = g.Dataset.Tasks()
 	}
 	c, err := s.reg.Create(req.Name, tasks, s.cfg, req.Draft)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	s.logf("campaign created: id=%s name=%q tasks=%d state=%s", c.ID(), c.Name(), len(tasks), c.State())
@@ -311,12 +355,12 @@ func (s *Server) handleCreateCampaign(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleListCampaigns(w http.ResponseWriter, r *http.Request) {
 	offset, err := queryInt(r, "offset", 0)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	limit, err := queryInt(r, "limit", defaultPageLimit)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	limit = clampPageLimit(limit)
@@ -331,7 +375,7 @@ func (s *Server) handleListCampaigns(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleGetCampaign(w http.ResponseWriter, r *http.Request) {
 	c, err := s.campaign(r)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, s.campaignInfo(c))
@@ -340,11 +384,11 @@ func (s *Server) handleGetCampaign(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleOpenCampaign(w http.ResponseWriter, r *http.Request) {
 	c, err := s.campaign(r)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	if err := c.Open(); err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, s.campaignInfo(c))
@@ -353,11 +397,11 @@ func (s *Server) handleOpenCampaign(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCancelCampaign(w http.ResponseWriter, r *http.Request) {
 	c, err := s.campaign(r)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	if err := c.Cancel(); err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	s.logf("campaign cancelled: id=%s", c.ID())
@@ -385,12 +429,12 @@ func decodeSubmitRequest(body io.Reader) ([]Submission, error) {
 func (s *Server) handleSubmissions(w http.ResponseWriter, r *http.Request) {
 	c, err := s.campaign(r)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	subs, err := decodeSubmitRequest(r.Body)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	ps := make([]platform.Submission, 0, len(subs))
@@ -399,7 +443,7 @@ func (s *Server) handleSubmissions(w http.ResponseWriter, r *http.Request) {
 	}
 	n, err := c.SubmitBatch(ps)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	s.logf("submissions accepted: campaign=%s count=%d", c.ID(), n)
@@ -415,7 +459,7 @@ func (s *Server) handleSubmissions(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCloseCampaign(w http.ResponseWriter, r *http.Request) {
 	c, err := s.campaign(r)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	switch st := c.State(); st {
@@ -426,11 +470,11 @@ func (s *Server) handleCloseCampaign(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusAccepted, s.campaignInfo(c))
 		return
 	case platform.StateDraft, platform.StateCancelled:
-		writeError(w, imcerr.New(imcerr.CodeConflict, "cannot close a %s campaign", st))
+		s.writeError(w, imcerr.New(imcerr.CodeConflict, "cannot close a %s campaign", st))
 		return
 	}
 	if c.Submissions() == 0 {
-		writeError(w, imcerr.New(imcerr.CodeInfeasible, "platform: no submissions"))
+		s.writeError(w, imcerr.New(imcerr.CodeInfeasible, "platform: no submissions"))
 		return
 	}
 	// Backpressure: when the settle admission queue is at its depth
@@ -442,7 +486,7 @@ func (s *Server) handleCloseCampaign(w http.ResponseWriter, r *http.Request) {
 	// flips to closing.
 	if sc := s.reg.Scheduler(); sc != nil && sc.QueueFull() {
 		sc.NoteOverflow()
-		writeError(w, imcerr.New(imcerr.CodeUnavailable,
+		s.writeError(w, imcerr.New(imcerr.CodeUnavailable,
 			"settle queue is full (%d queued); retry later", sc.Stats().QueuedSettles))
 		return
 	}
@@ -468,12 +512,12 @@ func (s *Server) handleCloseCampaign(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCampaignReport(w http.ResponseWriter, r *http.Request) {
 	c, err := s.campaign(r)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	rep, err := c.Report()
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, toWireReport(rep))
@@ -482,12 +526,12 @@ func (s *Server) handleCampaignReport(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCampaignAudit(w http.ResponseWriter, r *http.Request) {
 	c, err := s.campaign(r)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	audit, err := c.Audit()
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, toWireAudit(audit))
