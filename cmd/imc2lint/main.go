@@ -1,0 +1,101 @@
+// Command imc2lint runs the repository's analyzer suite (internal/lint)
+// over the module and reports every invariant violation with a
+// file:line position.
+//
+// Usage:
+//
+//	imc2lint [-C dir] [-json] [packages]
+//
+// The package patterns default to ./... and are resolved by the go
+// tool from -C (default: the current directory, which must be inside
+// the module). Exit status: 0 when clean, 1 when findings were
+// reported, 2 when the module failed to load or type-check.
+//
+// Findings are suppressed with a directive comment on the same line or
+// the line above:
+//
+//	//lint:allow <rule> <justification>
+//
+// See the internal/lint package documentation for the analyzer list.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"imc2/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Stdout, os.Stderr, os.Args[1:]))
+}
+
+// jsonDiagnostic is the -json output shape, one element per finding.
+type jsonDiagnostic struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+func run(stdout, stderr io.Writer, args []string) int {
+	fs := flag.NewFlagSet("imc2lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	dir := fs.String("C", ".", "resolve package patterns from this directory")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := lint.LoadModule(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "imc2lint: %v\n", err)
+		return 2
+	}
+	diags := lint.Run(pkgs, lint.Analyzers())
+
+	// Report paths relative to the load directory: stable across
+	// checkouts, clickable from the module root.
+	absDir, err := filepath.Abs(*dir)
+	if err != nil {
+		absDir = *dir
+	}
+	out := make([]jsonDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		file := d.Pos.Filename
+		if rel, err := filepath.Rel(absDir, file); err == nil {
+			file = rel
+		}
+		out = append(out, jsonDiagnostic{
+			File: file, Line: d.Pos.Line, Col: d.Pos.Column,
+			Rule: d.Rule, Message: d.Message,
+		})
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(stderr, "imc2lint: encoding findings: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range out {
+			fmt.Fprintf(stdout, "%s:%d:%d: %s [%s]\n", d.File, d.Line, d.Col, d.Message, d.Rule)
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "imc2lint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

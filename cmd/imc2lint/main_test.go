@@ -1,0 +1,148 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current output")
+
+// brokenmod is a self-contained scratch module whose every package
+// violates one of the suite's invariants.
+const brokenmod = "testdata/brokenmod"
+
+func runDriver(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code = run(&out, &errBuf, args)
+	return code, out.String(), errBuf.String()
+}
+
+// TestCleanModuleExitsZero pins the exit-code contract's success case:
+// the repository itself lints clean.
+func TestCleanModuleExitsZero(t *testing.T) {
+	code, stdout, stderr := runDriver(t, "-C", "../..", "./...")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("clean run wrote findings:\n%s", stdout)
+	}
+}
+
+// TestBrokenModuleExitsOne pins the findings case: violations make the
+// driver fail with status 1 and a count on stderr.
+func TestBrokenModuleExitsOne(t *testing.T) {
+	code, stdout, stderr := runDriver(t, "-C", brokenmod, "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if stdout == "" {
+		t.Error("no findings written to stdout")
+	}
+	if !strings.Contains(stderr, "finding(s)") {
+		t.Errorf("stderr missing the findings count: %q", stderr)
+	}
+}
+
+// TestGoldenDiagnostics locks the full text output over the broken
+// module: positions, messages, rule tags, and ordering. Regenerate with
+// `go test ./cmd/imc2lint/ -run TestGoldenDiagnostics -update`.
+func TestGoldenDiagnostics(t *testing.T) {
+	_, stdout, _ := runDriver(t, "-C", brokenmod, "./...")
+	golden := filepath.Join("testdata", "golden.txt")
+	if *update {
+		if err := os.WriteFile(golden, []byte(stdout), 0o644); err != nil {
+			t.Fatalf("writing golden file: %v", err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden file (run with -update to create it): %v", err)
+	}
+	if stdout != string(want) {
+		t.Errorf("diagnostics diverge from golden file\ngot:\n%s\nwant:\n%s", stdout, want)
+	}
+}
+
+// TestJSONOutput pins the -json shape: a JSON array of findings with
+// load-dir-relative paths, 1-based positions, and known rule names.
+func TestJSONOutput(t *testing.T) {
+	code, stdout, stderr := runDriver(t, "-json", "-C", brokenmod, "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr:\n%s", code, stderr)
+	}
+	var diags []jsonDiagnostic
+	if err := json.Unmarshal([]byte(stdout), &diags); err != nil {
+		t.Fatalf("-json output is not a JSON array: %v\n%s", err, stdout)
+	}
+	if len(diags) == 0 {
+		t.Fatal("-json output is empty despite exit 1")
+	}
+	rules := map[string]bool{}
+	for _, d := range diags {
+		if filepath.IsAbs(d.File) {
+			t.Errorf("file %q is absolute, want relative to -C", d.File)
+		}
+		if d.Line <= 0 || d.Col <= 0 {
+			t.Errorf("%s: non-positive position %d:%d", d.File, d.Line, d.Col)
+		}
+		if d.Message == "" {
+			t.Errorf("%s:%d: empty message", d.File, d.Line)
+		}
+		rules[d.Rule] = true
+	}
+	for _, want := range []string{"determinism", "errtaxonomy", "lockpair", "ctxscope"} {
+		if !rules[want] {
+			t.Errorf("no %s finding in the broken module", want)
+		}
+	}
+}
+
+// TestLoadErrorExitsTwo pins the load-failure case: a module that does
+// not compile is status 2, not a findings report.
+func TestLoadErrorExitsTwo(t *testing.T) {
+	dir := t.TempDir()
+	writeScratchFile(t, dir, "go.mod", "module scratchload\n\ngo 1.24\n")
+	writeScratchFile(t, dir, "bad.go", "package scratchload\n\nvar x int = \"not an int\"\n")
+	code, _, stderr := runDriver(t, "-C", dir, "./...")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2\nstderr:\n%s", code, stderr)
+	}
+	if stderr == "" {
+		t.Error("load failure reported nothing on stderr")
+	}
+}
+
+// TestLintGate is the CI negative smoke test: inject a fresh violation
+// into a scratch module and assert the gate actually fails. A driver
+// that silently passes everything would pass every positive check.
+func TestLintGate(t *testing.T) {
+	dir := t.TempDir()
+	writeScratchFile(t, dir, "go.mod", "module scratchgate\n\ngo 1.24\n")
+	writeScratchFile(t, dir, filepath.Join("internal", "app", "ctx.go"),
+		"package app\n\nimport \"context\"\n\n// Start severs cancellation.\nfunc Start() context.Context {\n\treturn context.Background()\n}\n")
+	code, stdout, stderr := runDriver(t, "-C", dir, "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 for an injected violation\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "[ctxscope]") {
+		t.Errorf("injected context.Background not attributed to ctxscope:\n%s", stdout)
+	}
+}
+
+func writeScratchFile(t *testing.T, dir, name, content string) {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module scratchlint
+
+go 1.24

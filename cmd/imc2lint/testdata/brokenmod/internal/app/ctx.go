@@ -1,0 +1,10 @@
+// Package app is a deliberately broken fixture for the imc2lint driver
+// tests: it originates a context in library code.
+package app
+
+import "context"
+
+// Start severs cancellation from its caller.
+func Start() context.Context {
+	return context.Background()
+}

@@ -1,0 +1,17 @@
+// Package registry is a deliberately broken fixture for the imc2lint
+// driver tests: it leaks a lock in a shared-state package.
+package registry
+
+import "sync"
+
+// Counter is shared state guarded by a mutex.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Inc acquires and never releases.
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	c.n++
+}

@@ -1,0 +1,15 @@
+// Package truth is a deliberately broken fixture for the imc2lint
+// driver tests: it folds the wall clock and map iteration order into a
+// result in a determinism-critical package.
+package truth
+
+import "time"
+
+// Score depends on the clock and on map order.
+func Score(weights map[string]float64) float64 {
+	total := float64(time.Now().UnixNano())
+	for _, w := range weights {
+		total += w
+	}
+	return total
+}

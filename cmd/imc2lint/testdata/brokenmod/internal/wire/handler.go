@@ -1,0 +1,21 @@
+// Package wire is a deliberately broken fixture for the imc2lint
+// driver tests: it bypasses the error seam and severs a cause chain.
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+var errDown = errors.New("backend down")
+
+// Handle writes an error response around the taxonomy seam.
+func Handle(w http.ResponseWriter, _ *http.Request) {
+	http.Error(w, "broken", http.StatusInternalServerError)
+}
+
+// Wrap formats the cause with %v instead of wrapping it.
+func Wrap() error {
+	return fmt.Errorf("campaign: %v", errDown)
+}

@@ -120,4 +120,13 @@
 //
 // Every figure and table of the paper's evaluation regenerates through
 // RunExperiment (see cmd/imc2bench and EXPERIMENTS.md).
+//
+// Contributors: the guarantees above are not just prose — a custom
+// analyzer suite (internal/lint, driver cmd/imc2lint) mechanically
+// enforces settle determinism, the unified error taxonomy, lock
+// pairing in the shared-state packages, metric naming with the
+// nil-safe clock seam, and context discipline in library code. CI runs
+// `go run ./cmd/imc2lint ./...` as a required step; deliberate
+// exceptions are annotated in the source with `//lint:allow <rule>
+// <justification>`. See API.md's "Static analysis (imc2lint)".
 package imc2

@@ -1,0 +1,33 @@
+package lint
+
+import "go/ast"
+
+// CtxScopeAnalyzer forbids context.Background and context.TODO in
+// internal library code. Contexts are originated at the edges — cmd/
+// binaries and tests — and flow down through parameters, so every
+// operation stays cancellable from the top. A Background buried in a
+// library severs that chain silently.
+func CtxScopeAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "ctxscope",
+		Doc:  "internal packages accept contexts from callers; only cmd/ and tests originate them",
+		Run: func(pass *Pass) {
+			if !pass.Pkg.InScope("internal") {
+				return
+			}
+			for _, f := range pass.Pkg.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if path, name, ok := pass.PkgFunc(call); ok && path == "context" && (name == "Background" || name == "TODO") {
+						pass.Reportf(call.Pos(),
+							"context.%s in library code severs cancellation: accept the context from the caller (cmd/ and tests originate contexts)", name)
+					}
+					return true
+				})
+			}
+		},
+	}
+}

@@ -1,0 +1,51 @@
+package lint
+
+import "go/ast"
+
+// determinismScope names the packages whose outputs must be a pure
+// function of their inputs: the settle engine and everything whose
+// numbers reach a report. One wall-clock read or unseeded shuffle here
+// breaks "bit-identical at every parallelism degree".
+var determinismScope = []string{"internal/truth", "internal/auction", "internal/numeric"}
+
+// DeterminismAnalyzer forbids nondeterminism sources in the settle hot
+// paths: wall-clock reads, direct math/rand use (seeded randomness must
+// flow through internal/randx), and ranging over maps (iteration order
+// is randomized per run; keys must drain into a sorted slice before
+// they can affect output).
+func DeterminismAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "determinism",
+		Doc:  "no clock reads, direct math/rand, or map-order dependence in settle-critical packages",
+		Run: func(pass *Pass) {
+			if !pass.Pkg.InScope(determinismScope...) {
+				return
+			}
+			for _, f := range pass.Pkg.Files {
+				for _, imp := range f.Imports {
+					switch importPathOf(imp) {
+					case "math/rand", "math/rand/v2":
+						pass.Reportf(imp.Pos(),
+							"import of %s in a determinism-critical package: seeded randomness must flow through internal/randx",
+							importPathOf(imp))
+					}
+				}
+				ast.Inspect(f, func(n ast.Node) bool {
+					switch n := n.(type) {
+					case *ast.CallExpr:
+						if path, name, ok := pass.PkgFunc(n); ok && path == "time" && (name == "Now" || name == "Since") {
+							pass.Reportf(n.Pos(),
+								"time.%s in a determinism-critical package: settle output must not depend on the wall clock", name)
+						}
+					case *ast.RangeStmt:
+						if pass.IsMapType(n.X) {
+							pass.Reportf(n.Pos(),
+								"range over a map in a determinism-critical package: iteration order is randomized; drain keys into a sorted slice first")
+						}
+					}
+					return true
+				})
+			}
+		},
+	}
+}

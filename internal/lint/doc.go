@@ -1,0 +1,66 @@
+// Package lint is the repository's own analyzer suite: a dependency-free
+// framework on go/ast, go/parser, go/token, and go/types that mechanically
+// enforces the invariants the system's guarantees rest on. The paper's
+// headline properties — bit-identical settles at every parallelism degree,
+// exactly-once settle accounting, one imcerr→HTTP error taxonomy, and
+// zero-cost observability when disabled — are easy to break with one stray
+// clock read or ad-hoc status write; these analyzers make every such break
+// a build failure instead of a convention violation.
+//
+// # Analyzers
+//
+//   - determinism: inside internal/truth, internal/auction, and
+//     internal/numeric, forbids time.Now/time.Since, math/rand imports
+//     (seeded randomness must flow through internal/randx), and ranging
+//     over maps (iteration order is randomized; drain keys into a sorted
+//     slice before they can affect output).
+//   - errtaxonomy: internal/wire handlers may not call http.Error or write
+//     ad-hoc status codes — every error response routes through the single
+//     writeError seam with an imcerr code (writeError, writeJSON, and
+//     status-capturing WriteHeader passthroughs are the only legitimate
+//     WriteHeader call sites). Module-wide, library code re-erroring with
+//     fmt.Errorf must wrap the cause with %w so errors.Is/As keep working.
+//   - lockpair: inside internal/registry, internal/sched, and
+//     internal/store, every .Lock()/.RLock() must be released in the same
+//     function — either by a matching deferred unlock, or by a matching
+//     plain unlock with no return statement between acquire and release.
+//     Mismatched pairs (RLock released by Unlock) and locks held across an
+//     early return are reported.
+//   - obsnaming: every obs instrument registration, module-wide, must use
+//     a compile-time-constant metric name matching
+//     imc2_<subsystem>_<name>_<unit> (see MetricNameRE — the single source
+//     of truth the wire package's naming test also delegates to). Inside
+//     internal/*, any function that records to an obs instrument may only
+//     read the clock behind a nil-safe seam (an `if x.timed`-style boolean
+//     guard or a `!= nil` check), preserving the "nil registry = zero
+//     cost, no clock reads" guarantee.
+//   - ctxscope: internal/* library code may not call context.Background or
+//     context.TODO — contexts are originated by cmd/ binaries and tests
+//     and flow down, so cancellation always propagates.
+//
+// # Suppression
+//
+// A finding is suppressed by a directive comment on the same line or the
+// line immediately above:
+//
+//	//lint:allow <rule> <justification>
+//
+// The rule name is the analyzer name (several may be given,
+// comma-separated). The justification is free text but should say why the
+// invariant genuinely does not apply; the directive is the audit trail a
+// reviewer reads.
+//
+// # Loading
+//
+// LoadModule shells out to `go list -deps -export -json` and type-checks
+// every matched package from source, resolving all imports — standard
+// library and intra-module alike — from compiler export data. Test files
+// are not analyzed: the invariants govern production code, and tests are
+// where clocks, ad-hoc contexts, and unseeded randomness are legitimate.
+// Fixture packages under testdata are loaded with LoadDir against the
+// module's dependency closure.
+//
+// The cmd/imc2lint driver runs the suite over the module and exits 0 when
+// clean, 1 on findings, and 2 when loading fails; CI runs it alongside go
+// vet on every push.
+package lint

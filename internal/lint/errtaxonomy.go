@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// errorSeamFuncs are the only functions in internal/wire allowed to
+// touch the raw status line: writeError is the single error seam,
+// writeJSON the single success seam, and a WriteHeader method is the
+// status-capturing middleware passthrough.
+var errorSeamFuncs = map[string]bool{
+	"writeError":  true,
+	"writeJSON":   true,
+	"WriteHeader": true,
+}
+
+// ErrTaxonomyAnalyzer enforces the unified error taxonomy. In
+// internal/wire, handlers may not call http.Error or WriteHeader —
+// every error response routes through writeError with an imcerr code so
+// the imcerr→HTTP mapping and the error metrics stay consistent.
+// Module-wide, internal packages re-erroring with fmt.Errorf must wrap
+// the cause with %w so errors.Is/As chains keep resolving.
+func ErrTaxonomyAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "errtaxonomy",
+		Doc:  "error responses route through writeError; library re-erroring wraps with %w",
+		Run: func(pass *Pass) {
+			inWire := pass.Pkg.InScope("internal/wire")
+			inInternal := pass.Pkg.InScope("internal")
+			if !inInternal {
+				return
+			}
+			for _, decl := range pass.funcDecls() {
+				funcName := decl.Name.Name
+				ast.Inspect(decl.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if inWire {
+						if path, name, ok := pass.PkgFunc(call); ok && path == "net/http" && name == "Error" {
+							pass.Reportf(call.Pos(),
+								"http.Error bypasses the error taxonomy: route the failure through (*Server).writeError with an imcerr code")
+						}
+						if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "WriteHeader" && !errorSeamFuncs[funcName] {
+							pass.Reportf(call.Pos(),
+								"ad-hoc WriteHeader in %s: status codes are written only by writeError/writeJSON so imcerr codes and metrics stay consistent", funcName)
+						}
+					}
+					if path, name, ok := pass.PkgFunc(call); ok && path == "fmt" && name == "Errorf" && len(call.Args) >= 2 {
+						format, isConst := pass.StringConst(call.Args[0])
+						if isConst && !strings.Contains(format, "%w") {
+							for _, arg := range call.Args[1:] {
+								if pass.ImplementsError(arg) {
+									pass.Reportf(call.Pos(),
+										"error formatted into fmt.Errorf without %%w: callers lose errors.Is/As; wrap the cause with %%w")
+									break
+								}
+							}
+						}
+					}
+					return true
+				})
+			}
+		},
+	}
+}

@@ -1,0 +1,168 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: a resolved position, the analyzer that
+// produced it, and a human-readable message.
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Rule)
+}
+
+// Analyzer is one named invariant check. Run inspects the pass's package
+// and reports findings through pass.Reportf.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// Path is the package's import path ("imc2/internal/truth"). Rule
+	// scoping matches on its path segments.
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// InScope reports whether the package path contains any of the given
+// segment sequences ("internal/truth" matches "imc2/internal/truth" but
+// not "imc2/internal/truthiness").
+func (p *Package) InScope(segments ...string) bool {
+	for _, s := range segments {
+		if p.Path == s ||
+			strings.HasPrefix(p.Path, s+"/") ||
+			strings.HasSuffix(p.Path, "/"+s) ||
+			strings.Contains(p.Path, "/"+s+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Pass carries one analyzer's run over one package.
+type Pass struct {
+	Pkg   *Package
+	rule  string
+	diags []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:     p.Pkg.Fset.Position(pos),
+		Rule:    p.rule,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Run executes the analyzers over the packages, drops findings
+// suppressed by //lint:allow directives, and returns the remainder
+// sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		allowed := allowDirectives(pkg)
+		for _, a := range analyzers {
+			pass := &Pass{Pkg: pkg, rule: a.Name}
+			a.Run(pass)
+			for _, d := range pass.diags {
+				if allowed.allows(d) {
+					continue
+				}
+				all = append(all, d)
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return all
+}
+
+// Analyzers returns the full suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		DeterminismAnalyzer(),
+		ErrTaxonomyAnalyzer(),
+		LockPairAnalyzer(),
+		ObsNamingAnalyzer(),
+		CtxScopeAnalyzer(),
+	}
+}
+
+// allowSet maps file → line → rule names suppressed on that line.
+type allowSet map[string]map[int]map[string]bool
+
+// allows reports whether the diagnostic is suppressed by a directive on
+// its own line or the line immediately above.
+func (s allowSet) allows(d Diagnostic) bool {
+	lines := s[d.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	return lines[d.Pos.Line][d.Rule] || lines[d.Pos.Line-1][d.Rule]
+}
+
+// allowDirectives scans a package's comments for //lint:allow directives.
+// The directive form is:
+//
+//	//lint:allow rule[,rule...] justification
+func allowDirectives(pkg *Package) allowSet {
+	set := allowSet{}
+	for _, f := range pkg.Files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				if !strings.HasPrefix(text, "lint:allow") {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(text, "lint:allow"))
+				if len(fields) == 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				lines := set[pos.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					set[pos.Filename] = lines
+				}
+				rules := lines[pos.Line]
+				if rules == nil {
+					rules = map[string]bool{}
+					lines[pos.Line] = rules
+				}
+				for _, r := range strings.Split(fields[0], ",") {
+					rules[r] = true
+				}
+			}
+		}
+	}
+	return set
+}

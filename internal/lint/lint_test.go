@@ -1,0 +1,146 @@
+package lint
+
+import (
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+// fixtureCases maps each fixture directory to the synthetic import path
+// it is loaded under. The paths are chosen so each fixture falls inside
+// the scope of the analyzer it exercises, exactly as the matching real
+// package would.
+var fixtureCases = []struct {
+	dir        string
+	importPath string
+}{
+	{"determfix", "scratchfix/internal/truth"},
+	{"errtaxfix", "scratchfix/internal/wire"},
+	{"lockfix", "scratchfix/internal/registry"},
+	{"obsfix", "scratchfix/internal/metrics"},
+	{"ctxfix", "scratchfix/internal/app"},
+}
+
+// wantRE extracts the expectation regexp from a `// want "..."` comment.
+var wantRE = regexp.MustCompile(`want "((?:[^"\\]|\\.)*)"`)
+
+// wantExp is one expectation: a diagnostic on this line of this file
+// whose message matches the pattern.
+type wantExp struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// parseWants collects the fixture's want comments.
+func parseWants(t *testing.T, pkg *Package) []*wantExp {
+	t.Helper()
+	var wants []*wantExp
+	for _, f := range pkg.Files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				for _, m := range wantRE.FindAllStringSubmatch(c.Text, -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("bad want pattern %q: %v", m[1], err)
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					wants = append(wants, &wantExp{file: pos.Filename, line: pos.Line, pattern: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// TestAnalyzersOnFixtures runs the full suite over each fixture package
+// and checks the diagnostics against its want comments: every want must
+// be produced, and every diagnostic must be wanted.
+func TestAnalyzersOnFixtures(t *testing.T) {
+	for _, tc := range fixtureCases {
+		t.Run(tc.dir, func(t *testing.T) {
+			pkg, err := LoadDir("../..", filepath.Join("testdata", "src", tc.dir), tc.importPath)
+			if err != nil {
+				t.Fatalf("loading fixture: %v", err)
+			}
+			wants := parseWants(t, pkg)
+			if len(wants) == 0 {
+				t.Fatal("fixture has no want comments")
+			}
+			for _, d := range Run([]*Package{pkg}, Analyzers()) {
+				ok := false
+				for _, w := range wants {
+					if w.file == d.Pos.Filename && w.line == d.Pos.Line && w.pattern.MatchString(d.Message) {
+						w.matched = true
+						ok = true
+					}
+				}
+				if !ok {
+					t.Errorf("unexpected diagnostic: %s", d)
+				}
+			}
+			for _, w := range wants {
+				if !w.matched {
+					t.Errorf("%s:%d: wanted %q, no diagnostic produced", w.file, w.line, w.pattern)
+				}
+			}
+		})
+	}
+}
+
+// TestCheckMetricName pins the naming convention the analyzer and the
+// wire package's runtime test both delegate to.
+func TestCheckMetricName(t *testing.T) {
+	valid := []string{
+		"imc2_wire_requests_total",
+		"imc2_sched_settle_seconds",
+		"imc2_store_wal_bytes",
+		"imc2_registry_campaigns_count",
+		"imc2_truth_convergence_ratio",
+		"imc2_wire_build_info",
+	}
+	for _, name := range valid {
+		if err := CheckMetricName(name); err != nil {
+			t.Errorf("CheckMetricName(%q) = %v, want nil", name, err)
+		}
+	}
+	invalid := []string{
+		"requests_total",                 // missing prefix
+		"imc2_web_requests_total",        // unknown subsystem
+		"imc2_wire_requests",             // missing unit
+		"imc2_wire_requests_elapsed",     // unknown unit
+		"imc2_wire_Requests_total",       // upper case
+		"imc2_wire__total",               // empty name segment
+		"imc2_wire_requests_total_extra", // must end in a unit
+	}
+	for _, name := range invalid {
+		if err := CheckMetricName(name); err == nil {
+			t.Errorf("CheckMetricName(%q) = nil, want error", name)
+		}
+	}
+}
+
+// TestInScope pins the segment-matching semantics rule scoping relies
+// on: segments match whole path elements, never substrings of one.
+func TestInScope(t *testing.T) {
+	cases := []struct {
+		path     string
+		segments []string
+		want     bool
+	}{
+		{"imc2/internal/truth", []string{"internal/truth"}, true},
+		{"scratchfix/internal/truth", []string{"internal/truth"}, true},
+		{"internal/truth", []string{"internal/truth"}, true},
+		{"imc2/internal/truthiness", []string{"internal/truth"}, false},
+		{"imc2/internal/wire", []string{"internal/truth", "internal/wire"}, true},
+		{"imc2/cmd/platformd", []string{"internal"}, false},
+		{"imc2/internal/sched", []string{"internal"}, true},
+	}
+	for _, tc := range cases {
+		p := &Package{Path: tc.path}
+		if got := p.InScope(tc.segments...); got != tc.want {
+			t.Errorf("InScope(%q, %v) = %v, want %v", tc.path, tc.segments, got, tc.want)
+		}
+	}
+}

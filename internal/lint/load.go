@@ -1,0 +1,224 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// listPackage is the subset of `go list -json` output the loader reads.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -deps -export -json` in dir and decodes the
+// package stream. -deps pulls the full transitive closure so every
+// import — standard library and intra-module alike — carries compiler
+// export data the type-checker can resolve against.
+func goList(dir string, patterns ...string) ([]*listPackage, error) {
+	args := append([]string{
+		"list", "-deps", "-export",
+		"-json=ImportPath,Dir,Export,GoFiles,Standard,DepOnly,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errBuf bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errBuf
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %v: %w\n%s", patterns, err, errBuf.String())
+	}
+	var pkgs []*listPackage
+	dec := json.NewDecoder(&out)
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter resolves import paths to type information read from
+// compiler export data files.
+type exportImporter struct {
+	gc      types.Importer
+	exports map[string]string
+}
+
+func newExportImporter(fset *token.FileSet, exports map[string]string) *exportImporter {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q (not in the module's dependency closure)", path)
+		}
+		return os.Open(file)
+	}
+	return &exportImporter{gc: importer.ForCompiler(fset, "gc", lookup), exports: exports}
+}
+
+func (i *exportImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return i.gc.Import(path)
+}
+
+// LoadModule loads and type-checks every package the patterns match,
+// resolving the patterns with the go tool from dir (the module root).
+// Test files are not loaded: the invariants govern production code.
+func LoadModule(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	var subjects []*listPackage
+	for _, p := range listed {
+		if p.Error != nil {
+			return nil, fmt.Errorf("loading %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			subjects = append(subjects, p)
+		}
+	}
+	sort.Slice(subjects, func(i, j int) bool { return subjects[i].ImportPath < subjects[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, exports)
+	pkgs := make([]*Package, 0, len(subjects))
+	for _, s := range subjects {
+		files := make([]string, len(s.GoFiles))
+		for i, f := range s.GoFiles {
+			files[i] = filepath.Join(s.Dir, f)
+		}
+		pkg, err := check(fset, imp, s.ImportPath, s.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// moduleExports memoizes the export-data closure of a module's ./...
+// so fixture loads don't rerun go list per package.
+var (
+	exportsMu    sync.Mutex
+	exportsCache = map[string]map[string]string{}
+)
+
+func moduleExportClosure(moduleDir string) (map[string]string, error) {
+	abs, err := filepath.Abs(moduleDir)
+	if err != nil {
+		return nil, err
+	}
+	exportsMu.Lock()
+	defer exportsMu.Unlock()
+	if exports, ok := exportsCache[abs]; ok {
+		return exports, nil
+	}
+	listed, err := goList(abs, "./...")
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	exportsCache[abs] = exports
+	return exports, nil
+}
+
+// LoadDir loads one directory as a package under the given synthetic
+// import path, resolving its imports from the export-data closure of
+// the module rooted at moduleDir. It exists for fixture packages under
+// testdata, which the go tool refuses to list; a fixture may import
+// anything in the module's dependency closure.
+func LoadDir(moduleDir, pkgDir, importPath string) (*Package, error) {
+	exports, err := moduleExportClosure(moduleDir)
+	if err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(pkgDir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".go" {
+			files = append(files, filepath.Join(pkgDir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", pkgDir)
+	}
+	fset := token.NewFileSet()
+	return check(fset, newExportImporter(fset, exports), importPath, pkgDir, files)
+}
+
+// check parses and type-checks one package. Type errors are load
+// failures: the analyzers need sound type information, and the module
+// is expected to compile before it is linted.
+func check(fset *token.FileSet, imp types.Importer, importPath, dir string, filenames []string) (*Package, error) {
+	files := make([]*ast.File, 0, len(filenames))
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(importPath, fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("type-checking %s: %w", importPath, typeErrs[0])
+	}
+	return &Package{
+		Path:  importPath,
+		Dir:   dir,
+		Fset:  fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}

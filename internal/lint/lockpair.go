@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// lockScope names the packages whose locking discipline the analyzer
+// audits: the shared-state subsystems where a leaked lock deadlocks the
+// whole service rather than one computation.
+var lockScope = []string{"internal/registry", "internal/sched", "internal/store"}
+
+// lockMethods maps sync lock acquisitions to the release each requires.
+var lockMethods = map[string]string{
+	"(*sync.Mutex).Lock":    "(*sync.Mutex).Unlock",
+	"(*sync.RWMutex).Lock":  "(*sync.RWMutex).Unlock",
+	"(*sync.RWMutex).RLock": "(*sync.RWMutex).RUnlock",
+}
+
+// lockSite is one acquire or release call: the receiver expression
+// rendered as source text, the resolved sync method, and its position.
+type lockSite struct {
+	recv   string
+	method string
+	pos    token.Pos
+}
+
+// LockPairAnalyzer checks that every Lock/RLock in the shared-state
+// packages is released in the same function: by a matching deferred
+// unlock (directly or inside a deferred closure), or by a matching
+// plain unlock with no return statement between acquire and release.
+// Lock handoffs across goroutines need a //lint:allow lockpair
+// justification.
+func LockPairAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "lockpair",
+		Doc:  "every Lock/RLock pairs with its Unlock via defer or a straight-line critical section",
+		Run: func(pass *Pass) {
+			if !pass.Pkg.InScope(lockScope...) {
+				return
+			}
+			for _, decl := range pass.funcDecls() {
+				checkLockPairs(pass, decl)
+			}
+		},
+	}
+}
+
+func checkLockPairs(pass *Pass, decl *ast.FuncDecl) {
+	var locks, unlocks, deferred []lockSite
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			// A deferred unlock, or a deferred closure that unlocks.
+			if site, ok := pass.syncCall(n.Call); ok {
+				deferred = append(deferred, site)
+			}
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, func(m ast.Node) bool {
+					if call, ok := m.(*ast.CallExpr); ok {
+						if site, ok := pass.syncCall(call); ok {
+							deferred = append(deferred, site)
+						}
+					}
+					return true
+				})
+			}
+			return false // the deferred call is not a live acquire site
+		case *ast.CallExpr:
+			if site, ok := pass.syncCall(n); ok {
+				if _, isAcquire := lockMethods[site.method]; isAcquire {
+					locks = append(locks, site)
+				} else {
+					unlocks = append(unlocks, site)
+				}
+			}
+		}
+		return true
+	})
+
+	for _, lock := range locks {
+		release := lockMethods[lock.method]
+		if hasSite(deferred, lock.recv, release) {
+			continue
+		}
+		// No defer: accept a straight-line critical section — the first
+		// matching release after the acquire, with no return statement
+		// in between.
+		var first token.Pos
+		for _, u := range unlocks {
+			if u.recv == lock.recv && u.method == release && u.pos > lock.pos && (first == 0 || u.pos < first) {
+				first = u.pos
+			}
+		}
+		shortName := release[len("(*sync.Mutex)."):]
+		if lock.method == "(*sync.RWMutex).RLock" {
+			shortName = "RUnlock"
+		} else if lock.method == "(*sync.RWMutex).Lock" {
+			shortName = "Unlock"
+		}
+		if first == 0 {
+			pass.Reportf(lock.pos,
+				"%s is locked but no matching %s.%s follows in %s: pair it with defer (or //lint:allow lockpair with the handoff protocol)",
+				lock.recv, lock.recv, shortName, decl.Name.Name)
+			continue
+		}
+		if containsReturn(decl.Body, lock.pos, first) {
+			pass.Reportf(lock.pos,
+				"%s is held across a return path in %s: a return between Lock and %s leaks the lock; use defer or restructure",
+				lock.recv, decl.Name.Name, shortName)
+		}
+	}
+}
+
+// syncCall resolves a call to a sync.Mutex/RWMutex lock-family method,
+// returning the receiver's source text and the method's full name.
+func (p *Pass) syncCall(call *ast.CallExpr) (lockSite, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockSite{}, false
+	}
+	fn, ok := p.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return lockSite{}, false
+	}
+	full := fn.FullName()
+	switch full {
+	case "(*sync.Mutex).Lock", "(*sync.Mutex).Unlock",
+		"(*sync.RWMutex).Lock", "(*sync.RWMutex).Unlock",
+		"(*sync.RWMutex).RLock", "(*sync.RWMutex).RUnlock":
+		return lockSite{recv: types.ExprString(sel.X), method: full, pos: call.Pos()}, true
+	}
+	return lockSite{}, false
+}
+
+func hasSite(sites []lockSite, recv, method string) bool {
+	for _, s := range sites {
+		if s.recv == recv && s.method == method {
+			return true
+		}
+	}
+	return false
+}

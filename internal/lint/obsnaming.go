@@ -1,0 +1,200 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// obsPath is the observability package every instrument comes from.
+const obsPath = "imc2/internal/obs"
+
+// registrationMethods are the *obs.Registry constructors that take a
+// metric name as their first argument.
+var registrationMethods = map[string]bool{
+	"Counter":      true,
+	"Gauge":        true,
+	"GaugeFunc":    true,
+	"Histogram":    true,
+	"CounterVec":   true,
+	"GaugeVec":     true,
+	"HistogramVec": true,
+}
+
+// MetricNameRE is the platform's metric naming convention,
+// imc2_<subsystem>_<name>_<unit> — the single source of truth shared by
+// the analyzer and the wire package's runtime naming test. Adding a new
+// subsystem means extending this list deliberately, here.
+var MetricNameRE = regexp.MustCompile(
+	`^imc2_(wire|sched|store|registry|truth)_[a-z][a-z0-9_]*_(total|seconds|bytes|count|info|ratio)$`)
+
+// CheckMetricName validates one metric name against the convention.
+func CheckMetricName(name string) error {
+	if !MetricNameRE.MatchString(name) {
+		return fmt.Errorf("metric %q violates the imc2_<subsystem>_<name>_<unit> naming convention", name)
+	}
+	return nil
+}
+
+// ObsNamingAnalyzer checks every obs instrument registration in the
+// module: the metric name must be a compile-time constant matching
+// MetricNameRE. Inside internal packages it additionally enforces the
+// nil-safe seam: a function that records to an obs instrument may only
+// read the clock behind an instrumentation guard (an `if x.timed`-style
+// boolean field or a `!= nil` check, either enclosing the read or as an
+// earlier early-return), preserving "nil registry = zero cost, no clock
+// reads".
+func ObsNamingAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "obsnaming",
+		Doc:  "obs registrations use constant convention-conforming names; instrumented clock reads sit behind nil-safe guards",
+		Run: func(pass *Pass) {
+			if pass.Pkg.Path == obsPath {
+				return // the instrument library itself, not a consumer
+			}
+			for _, f := range pass.Pkg.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					path, recvType, method, ok := pass.Method(call)
+					if !ok || path != obsPath || recvType != "Registry" || !registrationMethods[method] || len(call.Args) == 0 {
+						return true
+					}
+					name, isConst := pass.StringConst(call.Args[0])
+					if !isConst {
+						pass.Reportf(call.Args[0].Pos(),
+							"metric name passed to obs.Registry.%s must be a compile-time constant so the convention is checkable", method)
+						return true
+					}
+					if err := CheckMetricName(name); err != nil {
+						pass.Reportf(call.Args[0].Pos(), "%v", err)
+					}
+					return true
+				})
+			}
+			if pass.Pkg.InScope("internal") {
+				for _, decl := range pass.funcDecls() {
+					checkClockSeam(pass, decl)
+				}
+			}
+		},
+	}
+}
+
+// checkClockSeam flags unguarded clock reads in functions that record
+// to obs instruments.
+func checkClockSeam(pass *Pass, decl *ast.FuncDecl) {
+	usesObs := false
+	var clocks []*ast.CallExpr
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if path, _, _, ok := pass.Method(call); ok && path == obsPath {
+			usesObs = true
+		}
+		if path, name, ok := pass.PkgFunc(call); ok && path == "time" && (name == "Now" || name == "Since") {
+			clocks = append(clocks, call)
+		}
+		return true
+	})
+	if !usesObs {
+		return
+	}
+	for _, clock := range clocks {
+		if clockGuarded(pass, decl, clock) {
+			continue
+		}
+		pass.Reportf(clock.Pos(),
+			"clock read in an instrumented function must sit behind the nil-safe seam (guard it with the instrumented check, e.g. `if s.timed` or `if m != nil`): the uninstrumented path must not read the clock")
+	}
+}
+
+// clockGuarded reports whether the clock-read call is dominated by an
+// instrumentation guard: an enclosing if whose condition tests a
+// boolean field or a nil comparison, or an earlier sibling early-return
+// if with such a condition.
+func clockGuarded(pass *Pass, decl *ast.FuncDecl, clock *ast.CallExpr) bool {
+	path := nodePath(decl, clock.Pos())
+	for _, n := range path {
+		if ifStmt, ok := n.(*ast.IfStmt); ok && isGuardCond(pass, ifStmt.Cond) {
+			return true
+		}
+	}
+	// Early-return guard: in any enclosing block, a statement before
+	// the one containing the clock read that is `if <guard> { ...
+	// return ... }`.
+	for i, n := range path {
+		block, ok := n.(*ast.BlockStmt)
+		if !ok || i+1 >= len(path) {
+			continue
+		}
+		for _, stmt := range block.List {
+			if stmt.End() <= path[i+1].Pos() {
+				if ifStmt, ok := stmt.(*ast.IfStmt); ok && isGuardCond(pass, ifStmt.Cond) && endsInReturn(ifStmt.Body) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// isGuardCond reports whether a condition looks like an
+// instrumentation guard: it compares something against nil, or reads a
+// plain boolean variable/field (`s.timed`, `closed`) rather than
+// computing a fresh comparison.
+func isGuardCond(pass *Pass, cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.BinaryExpr:
+			if e.Op == token.NEQ || e.Op == token.EQL {
+				if isNilIdent(e.X) || isNilIdent(e.Y) {
+					found = true
+				}
+			}
+		case *ast.SelectorExpr:
+			if isBoolValue(pass, e) {
+				found = true
+			}
+		case *ast.Ident:
+			if isBoolValue(pass, e) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isNilIdent(e ast.Expr) bool {
+	ident, ok := e.(*ast.Ident)
+	return ok && ident.Name == "nil"
+}
+
+func isBoolValue(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Pkg.Info.Types[e]
+	if !ok || tv.Type == nil || tv.Value != nil || tv.IsType() {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Kind() == types.Bool
+}
+
+// endsInReturn reports whether the block's last statement is a return.
+func endsInReturn(block *ast.BlockStmt) bool {
+	if len(block.List) == 0 {
+		return false
+	}
+	_, ok := block.List[len(block.List)-1].(*ast.ReturnStmt)
+	return ok
+}

@@ -1,0 +1,20 @@
+package lint
+
+import "testing"
+
+// TestRepositoryIsLintClean runs the full analyzer suite over the real
+// module. The invariants the analyzers encode are supposed to hold on
+// the code as committed — every deliberate exception carries a
+// //lint:allow justification — so any diagnostic here is a regression.
+func TestRepositoryIsLintClean(t *testing.T) {
+	pkgs, err := LoadModule("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no packages loaded")
+	}
+	for _, d := range Run(pkgs, Analyzers()) {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,22 @@
+// Package ctxfix exercises the context-discipline analyzer: the
+// fixture is loaded under the synthetic import path
+// scratchfix/internal/app, i.e. library code that must accept contexts.
+package ctxfix
+
+import "context"
+
+// Begin severs cancellation from whatever called it.
+func Begin() context.Context {
+	return context.Background() // want "context.Background in library code severs cancellation"
+}
+
+// Later parks the decision and is just as unreachable by cancellation.
+func Later() context.Context {
+	return context.TODO() // want "context.TODO in library code severs cancellation"
+}
+
+// Root is an annotated lifecycle root: the directive names the rule and
+// records why the severing is deliberate.
+func Root() context.Context {
+	return context.Background() //lint:allow ctxscope fixture lifecycle root; closed by Shutdown
+}

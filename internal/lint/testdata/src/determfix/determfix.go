@@ -1,0 +1,30 @@
+// Package determfix exercises the determinism analyzer: the fixture is
+// loaded under the synthetic import path scratchfix/internal/truth so
+// the settle-engine scope rules apply to it.
+package determfix
+
+import (
+	"math/rand" // want "import of math/rand in a determinism-critical package"
+	"time"
+)
+
+// Estimate mixes forbidden nondeterminism sources into a result.
+func Estimate(weights map[string]float64) float64 {
+	total := float64(time.Now().Unix()) // want "time.Now in a determinism-critical package"
+	for _, w := range weights {         // want "range over a map in a determinism-critical package"
+		total += w
+	}
+	total += rand.Float64()
+	return total
+}
+
+// Elapsed reads the wall clock.
+func Elapsed(start time.Time) float64 {
+	return time.Since(start).Seconds() // want "time.Since in a determinism-critical package"
+}
+
+// Allowed demonstrates the suppression escape hatch: the directive on
+// the same line silences exactly this rule at exactly this position.
+func Allowed() int64 {
+	return time.Now().Unix() //lint:allow determinism fixture demonstrates suppression
+}

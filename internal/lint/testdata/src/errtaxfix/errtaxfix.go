@@ -1,0 +1,45 @@
+// Package errtaxfix exercises the error-taxonomy analyzer: the fixture
+// is loaded under the synthetic import path scratchfix/internal/wire so
+// the handler-seam rules apply to it.
+package errtaxfix
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+var errBackend = errors.New("backend unavailable")
+
+// handleBad writes error responses around the taxonomy seam.
+func handleBad(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method", http.StatusMethodNotAllowed) // want "http.Error bypasses the error taxonomy"
+		return
+	}
+	w.WriteHeader(http.StatusTeapot) // want "ad-hoc WriteHeader in handleBad"
+}
+
+// writeError is the seam itself: the one place allowed to touch the
+// status line.
+func writeError(w http.ResponseWriter, code int) {
+	w.WriteHeader(code)
+	fmt.Fprintln(w, http.StatusText(code))
+}
+
+// wrapBad formats the cause with %v, severing the errors.Is/As chain.
+func wrapBad() error {
+	return fmt.Errorf("settle failed: %v", errBackend) // want "without %w"
+}
+
+// wrapGood preserves the chain.
+func wrapGood() error {
+	return fmt.Errorf("settle failed: %w", errBackend)
+}
+
+var (
+	_ = handleBad
+	_ = writeError
+	_ = wrapBad
+	_ = wrapGood
+)

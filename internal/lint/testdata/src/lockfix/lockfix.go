@@ -1,0 +1,74 @@
+// Package lockfix exercises the lock-pairing analyzer: the fixture is
+// loaded under the synthetic import path scratchfix/internal/registry
+// so the shared-state locking rules apply to it.
+package lockfix
+
+import "sync"
+
+// Table is shared state guarded by a mutex and an RWMutex.
+type Table struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	vals map[string]int
+}
+
+// GetDeferred is the canonical pattern: defer pairs the lock.
+func (t *Table) GetDeferred(k string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.vals[k]
+}
+
+// GetClosure releases inside a deferred closure; still paired.
+func (t *Table) GetClosure(k string) int {
+	t.mu.Lock()
+	defer func() {
+		t.mu.Unlock()
+	}()
+	return t.vals[k]
+}
+
+// SetInline is a straight-line critical section; also fine.
+func (t *Table) SetInline(k string, v int) {
+	t.mu.Lock()
+	t.vals[k] = v
+	t.mu.Unlock()
+}
+
+// ReadShared pairs RLock with RUnlock.
+func (t *Table) ReadShared(k string) int {
+	t.rw.RLock()
+	defer t.rw.RUnlock()
+	return t.vals[k]
+}
+
+// Leak acquires and never releases.
+func (t *Table) Leak(k string, v int) {
+	t.mu.Lock() // want "t.mu is locked but no matching t.mu.Unlock follows in Leak"
+	t.vals[k] = v
+}
+
+// EarlyReturn can exit with the lock held.
+func (t *Table) EarlyReturn(k string) (int, bool) {
+	t.mu.Lock() // want "t.mu is held across a return path in EarlyReturn"
+	v, ok := t.vals[k]
+	if !ok {
+		return 0, false
+	}
+	t.mu.Unlock()
+	return v, true
+}
+
+// ReadMismatch pairs RLock with the write-side release.
+func (t *Table) ReadMismatch(k string) int {
+	t.rw.RLock() // want "t.rw is locked but no matching t.rw.RUnlock follows in ReadMismatch"
+	defer t.rw.Unlock()
+	return t.vals[k]
+}
+
+// Handoff passes the release to another goroutine — a protocol the
+// analyzer cannot see, so the directive documents it.
+func (t *Table) Handoff(release chan<- func()) {
+	t.mu.Lock() //lint:allow lockpair the channel receiver releases; see fixture doc
+	release <- t.mu.Unlock
+}

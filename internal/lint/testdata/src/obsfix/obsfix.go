@@ -1,0 +1,66 @@
+// Package obsfix exercises the obs metric-naming and clock-seam
+// analyzer: the fixture is loaded under the synthetic import path
+// scratchfix/internal/metrics so the internal-package seam rules apply.
+package obsfix
+
+import (
+	"time"
+
+	"imc2/internal/obs"
+)
+
+// badSuffix is a constant name with a non-conforming unit suffix; the
+// analyzer resolves named constants, not just literals.
+const badSuffix = "imc2_wire_requests_elapsed"
+
+// Probe is an instrumented component with the nil-safe clock seam.
+type Probe struct {
+	reg     *obs.Registry
+	timed   bool
+	settles *obs.Counter
+	latency *obs.Histogram
+}
+
+// Wire registers the probe's instruments.
+func (p *Probe) Wire(dynamic string) {
+	p.settles = p.reg.Counter("imc2_sched_settles_total", "settles started")
+	p.latency = p.reg.Histogram("imc2_sched_settle_seconds", "settle latency", nil)
+	p.reg.Counter("rq_total", "bad prefix")  // want "violates the imc2_"
+	p.reg.Counter(badSuffix, "bad unit")     // want "violates the imc2_"
+	p.reg.Counter(dynamic, "not a constant") // want "must be a compile-time constant"
+}
+
+// ObserveGuarded reads the clock only behind the timed guard: the
+// uninstrumented path never touches it.
+func (p *Probe) ObserveGuarded(fn func()) {
+	var start time.Time
+	if p.timed {
+		start = time.Now()
+	}
+	fn()
+	p.settles.Inc()
+	if p.timed {
+		p.latency.Observe(time.Since(start).Seconds())
+	}
+}
+
+// ObserveEarlyReturn guards with an early return instead; also fine.
+func (p *Probe) ObserveEarlyReturn(fn func()) {
+	p.settles.Inc()
+	if p.reg == nil {
+		fn()
+		return
+	}
+	start := time.Now()
+	fn()
+	p.latency.Observe(time.Since(start).Seconds())
+}
+
+// ObserveUnguarded reads the clock unconditionally in an instrumented
+// function: the uninstrumented path pays for clock reads it never uses.
+func (p *Probe) ObserveUnguarded(fn func()) {
+	start := time.Now() // want "clock read in an instrumented function"
+	fn()
+	p.settles.Inc()
+	p.latency.Observe(time.Since(start).Seconds()) // want "clock read in an instrumented function"
+}

@@ -259,9 +259,10 @@ type Audit struct {
 
 // Run executes both stages and settles the campaign. It is the
 // synchronous convenience form of Settle with a background context; once
-// settled, subsequent calls return the cached report.
+// settled, subsequent calls return the cached report. Callers that need
+// cancellation or deadlines use Settle directly.
 func (p *Platform) Run(cfg Config) (*Report, error) {
-	return p.Settle(context.Background(), cfg)
+	return p.Settle(context.Background(), cfg) //lint:allow ctxscope documented uncancellable convenience wrapper over Settle
 }
 
 // runStages executes truth discovery and the auction. It must only be

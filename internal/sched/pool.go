@@ -243,7 +243,7 @@ func (p *Pool) worker() {
 
 		p.work(r, slot, true)
 
-		p.mu.Lock()
+		p.mu.Lock() //lint:allow lockpair condvar loop relock: released by the branches at the top of the next iteration
 		r.freeSlots = append(r.freeSlots, slot)
 		r.helpers--
 		// The freed slot may make r (or, after a yield, another run)

@@ -219,10 +219,12 @@ func runNC(ds *model.Dataset, opt Options, fm FalseValueModel) *Result {
 }
 
 // timePass runs one pass under a wall clock; only traced runs call it.
+// The readings feed IterationStats telemetry, never the report — truth
+// values, weights, and payments stay clock-independent.
 func timePass(fn func()) float64 {
-	start := time.Now()
+	start := time.Now() //lint:allow determinism trace-only telemetry; never feeds the report
 	fn()
-	return time.Since(start).Seconds()
+	return time.Since(start).Seconds() //lint:allow determinism trace-only telemetry; never feeds the report
 }
 
 func equalTruth(a, b []int32) bool {

@@ -1,8 +1,9 @@
 package truth
 
 import (
-	"math/rand"
 	"sort"
+
+	"imc2/internal/randx"
 )
 
 // computeIndependence is step 2 of Algorithm 1: for every task j and every
@@ -173,9 +174,11 @@ func (s *state) independenceByEnumeration(j int, group []int) {
 		permute(perm, 0, accumulate)
 	} else {
 		// Deterministic sampling: the stream depends only on the group's
-		// identity, keeping ED reproducible run to run.
+		// identity, keeping ED reproducible run to run. randx.New wraps
+		// the same generator the previous direct math/rand use did, so
+		// sampled-ED results are bit-identical across the migration.
 		seed := int64(j)*1_000_003 + int64(group[0])*31 + int64(g)
-		rng := rand.New(rand.NewSource(seed))
+		rng := randx.New(seed)
 		perm := make([]int, g)
 		for i := range perm {
 			perm[i] = i

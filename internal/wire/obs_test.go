@@ -4,22 +4,17 @@ import (
 	"context"
 	"net/http"
 	"net/http/httptest"
-	"regexp"
 	"strings"
 	"testing"
 	"time"
 
+	"imc2/internal/lint"
 	"imc2/internal/obs"
 	"imc2/internal/platform"
 	"imc2/internal/registry"
 	"imc2/internal/sched"
 	"imc2/internal/store"
 )
-
-// metricNameRE is the platform's naming convention, enforced here so a
-// new instrument cannot land off-pattern: imc2_<subsystem>_<name>_<unit>.
-var metricNameRE = regexp.MustCompile(
-	`^imc2_(wire|sched|store|registry|truth)_[a-z][a-z0-9_]*_(total|seconds|bytes|count|info|ratio)$`)
 
 // startObservedStack wires one obs.Registry through every subsystem —
 // scheduler, store, registry, HTTP server — the way platformd does, and
@@ -51,9 +46,12 @@ func startObservedStack(t *testing.T) (*Client, *obs.Registry) {
 }
 
 // TestMetricNamingConvention drives a full campaign through the fully
-// instrumented stack and lints every registered metric name. This is
-// the guard CI leans on: a metric from any subsystem that escapes the
-// imc2_<subsystem>_<name>_<unit> convention fails here.
+// instrumented stack and checks every registered metric name against
+// the convention, delegating to internal/lint's MetricNameRE — the
+// single source of truth the imc2lint obsnaming analyzer also enforces
+// statically. The runtime pass stays valuable for what static analysis
+// cannot see: that every subsystem actually registers metrics when the
+// full stack runs.
 func TestMetricNamingConvention(t *testing.T) {
 	client, o := startObservedStack(t)
 	w := testWorkload(t, 61)
@@ -65,9 +63,9 @@ func TestMetricNamingConvention(t *testing.T) {
 	}
 	seen := map[string]bool{}
 	for _, name := range names {
-		m := metricNameRE.FindStringSubmatch(name)
+		m := lint.MetricNameRE.FindStringSubmatch(name)
 		if m == nil {
-			t.Errorf("metric %q violates imc2_<subsystem>_<name>_<unit> naming", name)
+			t.Errorf("%v", lint.CheckMetricName(name))
 			continue
 		}
 		seen[m[1]] = true

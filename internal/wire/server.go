@@ -133,7 +133,7 @@ func NewRegistryServer(reg *registry.Registry, defaultID string, cfg platform.Co
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(context.Background()) //lint:allow ctxscope server lifecycle root; Shutdown cancels it after draining settles
 	s := &Server{reg: reg, cfg: cfg, defaultID: defaultID, logf: logf, ctx: ctx, cancel: cancel}
 	for _, opt := range opts {
 		opt(s)
