@@ -4,17 +4,20 @@
 //
 // Usage:
 //
-//	imc2lint [-C dir] [-json] [packages]
+//	imc2lint [-C dir] [-json|-sarif] [packages]
 //
 // The package patterns default to ./... and are resolved by the go
 // tool from -C (default: the current directory, which must be inside
 // the module). Exit status: 0 when clean, 1 when findings were
-// reported, 2 when the module failed to load or type-check.
+// reported, 2 when the module failed to load or type-check. -json
+// emits a flat JSON array; -sarif emits a SARIF 2.1.0 log for code
+// scanning uploads.
 //
 // Findings are suppressed with a directive comment on the same line or
-// the line above:
+// the line above, or for a whole file:
 //
 //	//lint:allow <rule> <justification>
+//	//lint:allowfile <rule> <justification>
 //
 // See the internal/lint package documentation for the analyzer list.
 package main
@@ -47,6 +50,7 @@ func run(stdout, stderr io.Writer, args []string) int {
 	fs := flag.NewFlagSet("imc2lint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	sarifOut := fs.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log")
 	dir := fs.String("C", ".", "resolve package patterns from this directory")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -81,14 +85,20 @@ func run(stdout, stderr io.Writer, args []string) int {
 		})
 	}
 
-	if *jsonOut {
+	switch {
+	case *sarifOut:
+		if err := writeSarif(stdout, out); err != nil {
+			fmt.Fprintf(stderr, "imc2lint: encoding findings: %v\n", err)
+			return 2
+		}
+	case *jsonOut:
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(out); err != nil {
 			fmt.Fprintf(stderr, "imc2lint: encoding findings: %v\n", err)
 			return 2
 		}
-	} else {
+	default:
 		for _, d := range out {
 			fmt.Fprintf(stdout, "%s:%d:%d: %s [%s]\n", d.File, d.Line, d.Col, d.Message, d.Rule)
 		}

@@ -97,9 +97,98 @@ func TestJSONOutput(t *testing.T) {
 		}
 		rules[d.Rule] = true
 	}
-	for _, want := range []string{"determinism", "errtaxonomy", "lockpair", "ctxscope"} {
+	for _, want := range []string{
+		"determinism", "errtaxonomy", "lockpair", "ctxscope",
+		"lockorder", "exhaustive", "goroleak", "detflow",
+	} {
 		if !rules[want] {
 			t.Errorf("no %s finding in the broken module", want)
+		}
+	}
+}
+
+// TestSarifOutput locks the -sarif shape over the broken module against
+// a golden file, and sanity-checks the structural invariants the code
+// scanning upload depends on. Regenerate with
+// `go test ./cmd/imc2lint/ -run TestSarifOutput -update`.
+func TestSarifOutput(t *testing.T) {
+	code, stdout, stderr := runDriver(t, "-sarif", "-C", brokenmod, "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr:\n%s", code, stderr)
+	}
+
+	golden := filepath.Join("testdata", "golden.sarif")
+	if *update {
+		if err := os.WriteFile(golden, []byte(stdout), 0o644); err != nil {
+			t.Fatalf("writing golden file: %v", err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden file (run with -update to create it): %v", err)
+	}
+	if stdout != string(want) {
+		t.Errorf("SARIF output diverges from golden file\ngot:\n%s\nwant:\n%s", stdout, want)
+	}
+
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Message   struct{ Text string }
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &log); err != nil {
+		t.Fatalf("-sarif output is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", log.Version)
+	}
+	if len(log.Runs) != 1 || log.Runs[0].Tool.Driver.Name != "imc2lint" {
+		t.Fatalf("want exactly one run from driver imc2lint, got %+v", log.Runs)
+	}
+	run := log.Runs[0]
+	declared := map[string]bool{}
+	for _, r := range run.Tool.Driver.Rules {
+		declared[r.ID] = true
+	}
+	if len(run.Results) == 0 {
+		t.Fatal("no results despite exit 1")
+	}
+	for _, res := range run.Results {
+		if !declared[res.RuleID] {
+			t.Errorf("result rule %q missing from the driver rules table", res.RuleID)
+		}
+		if len(res.Locations) != 1 {
+			t.Errorf("result %q has %d locations, want 1", res.RuleID, len(res.Locations))
+			continue
+		}
+		loc := res.Locations[0].PhysicalLocation
+		if strings.Contains(loc.ArtifactLocation.URI, "\\") || filepath.IsAbs(loc.ArtifactLocation.URI) {
+			t.Errorf("URI %q is not a relative slash path", loc.ArtifactLocation.URI)
+		}
+		if loc.Region.StartLine <= 0 {
+			t.Errorf("result %q has non-positive startLine", res.RuleID)
 		}
 	}
 }
@@ -120,19 +209,64 @@ func TestLoadErrorExitsTwo(t *testing.T) {
 }
 
 // TestLintGate is the CI negative smoke test: inject a fresh violation
-// into a scratch module and assert the gate actually fails. A driver
-// that silently passes everything would pass every positive check.
+// per analyzer into a scratch module and assert the gate actually
+// fails with the right attribution. A driver that silently passes
+// everything would pass every positive check.
 func TestLintGate(t *testing.T) {
-	dir := t.TempDir()
-	writeScratchFile(t, dir, "go.mod", "module scratchgate\n\ngo 1.24\n")
-	writeScratchFile(t, dir, filepath.Join("internal", "app", "ctx.go"),
-		"package app\n\nimport \"context\"\n\n// Start severs cancellation.\nfunc Start() context.Context {\n\treturn context.Background()\n}\n")
-	code, stdout, stderr := runDriver(t, "-C", dir, "./...")
-	if code != 1 {
-		t.Fatalf("exit = %d, want 1 for an injected violation\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	cases := []struct {
+		rule    string
+		path    string
+		content string
+	}{
+		{
+			rule: "ctxscope",
+			path: filepath.Join("internal", "app", "ctx.go"),
+			content: "package app\n\nimport \"context\"\n\n" +
+				"// Start severs cancellation.\n" +
+				"func Start() context.Context {\n\treturn context.Background()\n}\n",
+		},
+		{
+			rule: "lockorder",
+			path: filepath.Join("internal", "registry", "order.go"),
+			content: "package registry\n\nimport \"sync\"\n\n" +
+				"type R struct {\n\tmuA sync.Mutex\n\tmuB sync.Mutex\n}\n\n" +
+				"func (r *R) AB() {\n\tr.muA.Lock()\n\tdefer r.muA.Unlock()\n\tr.muB.Lock()\n\tdefer r.muB.Unlock()\n}\n\n" +
+				"func (r *R) BA() {\n\tr.muB.Lock()\n\tdefer r.muB.Unlock()\n\tr.muA.Lock()\n\tdefer r.muA.Unlock()\n}\n",
+		},
+		{
+			rule: "exhaustive",
+			path: filepath.Join("internal", "platform", "state.go"),
+			content: "package platform\n\n" +
+				"type State int\n\nconst (\n\tStateA State = iota\n\tStateB\n\tStateC\n)\n\n" +
+				"func Name(s State) string {\n\tswitch s {\n\tcase StateA:\n\t\treturn \"a\"\n\tcase StateB:\n\t\treturn \"b\"\n\t}\n\treturn \"\"\n}\n",
+		},
+		{
+			rule: "goroleak",
+			path: filepath.Join("internal", "app", "goro.go"),
+			content: "package app\n\nvar n int\n\n" +
+				"func Leak() {\n\tgo func() {\n\t\tn++\n\t}()\n}\n",
+		},
+		{
+			rule: "detflow",
+			path: filepath.Join("internal", "store", "record.go"),
+			content: "package store\n\n" +
+				"type KeyRecord struct{ First string }\n\n" +
+				"func First(m map[string]int) KeyRecord {\n\tvar first string\n\tfor k := range m {\n\t\tfirst = k\n\t\tbreak\n\t}\n\treturn KeyRecord{First: first}\n}\n",
+		},
 	}
-	if !strings.Contains(stdout, "[ctxscope]") {
-		t.Errorf("injected context.Background not attributed to ctxscope:\n%s", stdout)
+	for _, tc := range cases {
+		t.Run(tc.rule, func(t *testing.T) {
+			dir := t.TempDir()
+			writeScratchFile(t, dir, "go.mod", "module scratchgate\n\ngo 1.24\n")
+			writeScratchFile(t, dir, tc.path, tc.content)
+			code, stdout, stderr := runDriver(t, "-C", dir, "./...")
+			if code != 1 {
+				t.Fatalf("exit = %d, want 1 for an injected violation\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+			}
+			if !strings.Contains(stdout, "["+tc.rule+"]") {
+				t.Errorf("injected violation not attributed to %s:\n%s", tc.rule, stdout)
+			}
+		})
 	}
 }
 

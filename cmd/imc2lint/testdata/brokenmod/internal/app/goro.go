@@ -1,0 +1,12 @@
+package app
+
+var total int
+
+// Forget spawns a goroutine nothing ever joins or cancels.
+func Forget(n int) {
+	go func() {
+		for i := 0; i < n; i++ {
+			total += i
+		}
+	}()
+}

@@ -1,0 +1,24 @@
+// Package platform is a deliberately broken fixture for the imc2lint
+// driver tests: a switch over its lifecycle enum drops a constant
+// silently.
+package platform
+
+// Phase is the fixture's lifecycle enum.
+type Phase int
+
+const (
+	PhaseDraft Phase = iota
+	PhaseOpen
+	PhaseDone
+)
+
+// Describe has no case for PhaseDone and no default.
+func Describe(p Phase) string {
+	switch p {
+	case PhaseDraft:
+		return "draft"
+	case PhaseOpen:
+		return "open"
+	}
+	return ""
+}

@@ -1,0 +1,41 @@
+// Package sched is a deliberately broken fixture for the imc2lint
+// driver tests: it acquires its two locks in both orders.
+package sched
+
+import "sync"
+
+type a struct {
+	mu sync.Mutex
+	n  int
+}
+
+type b struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Pair holds two locks with no consistent acquisition order.
+type Pair struct {
+	x a
+	y b
+}
+
+// XY takes x before y.
+func (p *Pair) XY() {
+	p.x.mu.Lock()
+	defer p.x.mu.Unlock()
+	p.y.mu.Lock()
+	defer p.y.mu.Unlock()
+	p.x.n++
+	p.y.n++
+}
+
+// YX takes y before x, closing the cycle.
+func (p *Pair) YX() {
+	p.y.mu.Lock()
+	defer p.y.mu.Unlock()
+	p.x.mu.Lock()
+	defer p.x.mu.Unlock()
+	p.y.n++
+	p.x.n++
+}

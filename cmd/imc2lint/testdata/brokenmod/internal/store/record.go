@@ -1,0 +1,19 @@
+// Package store is a deliberately broken fixture for the imc2lint
+// driver tests: map iteration order leaks into a WAL-encoded record.
+package store
+
+// SnapshotRecord mimics a WAL-encoded record type.
+type SnapshotRecord struct {
+	First string
+}
+
+// FirstKey folds whichever key the runtime yields first into the
+// record's replay-compared bytes.
+func FirstKey(m map[string]int) SnapshotRecord {
+	var first string
+	for k := range m {
+		first = k
+		break
+	}
+	return SnapshotRecord{First: first}
+}

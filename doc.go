@@ -125,8 +125,15 @@
 // analyzer suite (internal/lint, driver cmd/imc2lint) mechanically
 // enforces settle determinism, the unified error taxonomy, lock
 // pairing in the shared-state packages, metric naming with the
-// nil-safe clock seam, and context discipline in library code. CI runs
-// `go run ./cmd/imc2lint ./...` as a required step; deliberate
-// exceptions are annotated in the source with `//lint:allow <rule>
-// <justification>`. See API.md's "Static analysis (imc2lint)".
+// nil-safe clock seam, and context discipline in library code, plus
+// four flow-sensitive rules built on a CFG and call-graph layer: the
+// cross-package lock-acquisition graph must stay acyclic (lockorder),
+// switches over lifecycle/event enums must stay exhaustive
+// (exhaustive), every spawned goroutine must reach a join or cancel
+// point (goroleak), and map-order/clock-derived values must not reach
+// WAL-encoded or report bytes (detflow). CI runs `go run ./cmd/imc2lint
+// ./...` as a required step and uploads a `-sarif` log to code
+// scanning; deliberate exceptions are annotated in the source with
+// `//lint:allow <rule> <justification>` (file-scoped:
+// `//lint:allowfile`). See API.md's "Static analysis (imc2lint)".
 package imc2

@@ -1,0 +1,165 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// declSite is one function declaration together with the package whose
+// type information describes it.
+type declSite struct {
+	pkg  *Package
+	decl *ast.FuncDecl
+	fn   *types.Func
+}
+
+// callIndex resolves call expressions to function declarations across
+// every loaded package. Cross-package identity goes through
+// (*types.Func).FullName strings rather than object pointers: a package
+// type-checked from source and the same package seen through export
+// data produce distinct type objects but identical full names, so the
+// string is the stable key.
+type callIndex struct {
+	decls map[string]*declSite
+	// typeMethods maps "pkgpath.TypeName" → method name → decl, for
+	// resolving interface method calls to concrete implementations.
+	typeMethods map[string]map[string]*declSite
+	// typeKeys is typeMethods' key set in sorted order, so resolution
+	// over it is deterministic.
+	typeKeys []string
+}
+
+// buildCallIndex indexes every function declaration with a body in the
+// loaded packages.
+func buildCallIndex(pkgs []*Package) *callIndex {
+	ci := &callIndex{
+		decls:       map[string]*declSite{},
+		typeMethods: map[string]map[string]*declSite{},
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				site := &declSite{pkg: pkg, decl: fd, fn: fn}
+				ci.decls[fn.FullName()] = site
+				if recv := recvTypeKey(fn); recv != "" {
+					methods := ci.typeMethods[recv]
+					if methods == nil {
+						methods = map[string]*declSite{}
+						ci.typeMethods[recv] = methods
+					}
+					methods[fn.Name()] = site
+				}
+			}
+		}
+	}
+	for k := range ci.typeMethods {
+		ci.typeKeys = append(ci.typeKeys, k)
+	}
+	sort.Strings(ci.typeKeys)
+	return ci
+}
+
+// recvTypeKey returns "pkgpath.TypeName" for a method's receiver type
+// (pointer receivers unwrapped), or "" for a plain function.
+func recvTypeKey(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	return named.Obj().Pkg().Path() + "." + named.Obj().Name()
+}
+
+// resolve returns the declarations a call may dispatch to: the single
+// static callee for direct calls and method calls on concrete types, or
+// every implementing method in the loaded packages for a call through
+// an interface. Calls to function values, builtins, and functions whose
+// source was not loaded resolve to nothing.
+func (ci *callIndex) resolve(pkg *Package, call *ast.CallExpr) []*declSite {
+	var fn *types.Func
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ = pkg.Info.Uses[fun].(*types.Func)
+	case *ast.SelectorExpr:
+		fn, _ = pkg.Info.Uses[fun.Sel].(*types.Func)
+	}
+	if fn == nil {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	if recv := sig.Recv(); recv != nil {
+		if iface, ok := recv.Type().Underlying().(*types.Interface); ok {
+			return ci.implementations(iface, fn.Name())
+		}
+	}
+	if site, ok := ci.decls[fn.FullName()]; ok {
+		return []*declSite{site}
+	}
+	return nil
+}
+
+// implementations finds the concrete methods an interface method call
+// may dispatch to. Because the interface and its implementations can
+// come from different type-check universes (source vs export data),
+// types.Implements cannot compare them directly; the check is
+// structural by name instead — a type qualifies when its declared
+// method set covers every method the interface names. That is a may-
+// analysis over-approximation, which is the right direction for the
+// analyzers built on top.
+func (ci *callIndex) implementations(iface *types.Interface, method string) []*declSite {
+	want := make([]string, 0, iface.NumMethods())
+	for i := 0; i < iface.NumMethods(); i++ {
+		want = append(want, iface.Method(i).Name())
+	}
+	var out []*declSite
+	for _, key := range ci.typeKeys {
+		methods := ci.typeMethods[key]
+		covers := true
+		for _, name := range want {
+			if methods[name] == nil {
+				covers = false
+				break
+			}
+		}
+		if covers {
+			if site := methods[method]; site != nil {
+				out = append(out, site)
+			}
+		}
+	}
+	return out
+}
+
+// callsIn yields the call expressions in a node in traversal order,
+// without descending into nested function literals (whose calls execute
+// on the literal's own schedule, not the enclosing statement's).
+func callsIn(n ast.Node, visit func(*ast.CallExpr)) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := m.(*ast.CallExpr); ok {
+			visit(call)
+		}
+		return true
+	})
+}

@@ -1,0 +1,422 @@
+// Package cfg builds intraprocedural control-flow graphs over stock
+// go/ast, with no dependencies beyond the standard library.
+//
+// The graph is deliberately lightweight: a function body becomes a set
+// of basic blocks holding the statements (and control expressions) in
+// source order, connected by successor edges that model Go's structured
+// control flow — if/else, for, range, switch, type switch, select,
+// break/continue (with labels), goto, fallthrough, and return. Deferred
+// calls are collected on the graph rather than threaded into the edge
+// structure, since they run at every function exit regardless of path.
+//
+// Function literals are opaque: a FuncLit appearing inside a statement
+// is part of that statement's node but its body is NOT expanded into
+// the enclosing graph. Callers analyzing closures build a separate
+// graph per literal body.
+//
+// The builder is conservative in the direction analyzers need: it may
+// include an infeasible edge (e.g. it does not evaluate constant
+// conditions) but never omits a feasible one, so a forward may-analysis
+// over the graph over-approximates the set of executions.
+package cfg
+
+import "go/ast"
+
+// Block is one basic block: a maximal straight-line run of statements.
+type Block struct {
+	// Index is the block's position in Graph.Blocks, stable across
+	// builds of the same body.
+	Index int
+	// Nodes holds the block's statements and control expressions in
+	// source order. A loop or switch header block carries the condition
+	// or tag expression; a range header carries the *ast.RangeStmt
+	// itself so analyzers can see the iteration variables.
+	Nodes []ast.Node
+	// Succs are the possible next blocks.
+	Succs []*Block
+}
+
+// Graph is the control-flow graph of one function body.
+type Graph struct {
+	// Entry is the block execution starts in.
+	Entry *Block
+	// Exit is the single synthetic exit block every return, panic-free
+	// fallthrough-off-the-end, and final statement flows into.
+	Exit *Block
+	// Blocks lists every block, Entry first, Exit last.
+	Blocks []*Block
+	// Defers collects the body's defer statements in source order.
+	// Deferred calls execute at every exit from the function, so they
+	// live on the graph, not on a path.
+	Defers []*ast.DeferStmt
+}
+
+// New builds the control-flow graph of a function body.
+func New(body *ast.BlockStmt) *Graph {
+	b := &builder{g: &Graph{}, labels: map[string]*Block{}}
+	b.g.Entry = b.newBlock()
+	b.g.Exit = &Block{}
+	b.cur = b.g.Entry
+	b.stmt(body)
+	// Whatever block is live at the end of the body falls off into the
+	// exit (an implicit return for void functions).
+	b.edge(b.cur, b.g.Exit)
+	// Unresolved gotos (labels we never saw — malformed or out of the
+	// analyzed region) conservatively jump to the exit.
+	for _, pg := range b.gotos {
+		if target, ok := b.labels[pg.label]; ok {
+			b.edge(pg.from, target)
+		} else {
+			b.edge(pg.from, b.g.Exit)
+		}
+	}
+	b.g.Exit.Index = len(b.g.Blocks)
+	b.g.Blocks = append(b.g.Blocks, b.g.Exit)
+	return b.g
+}
+
+// target is a pending break or continue destination, with the label it
+// answers to ("" for the innermost unlabeled form).
+type target struct {
+	label string
+	block *Block
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+type builder struct {
+	g   *Graph
+	cur *Block
+
+	breaks    []target
+	continues []target
+	labels    map[string]*Block
+	gotos     []pendingGoto
+
+	// pendingLabel is the label attached to the statement about to be
+	// built, so `break L` / `continue L` resolve to the right loop.
+	pendingLabel string
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// startBlock makes to the current block, adding a fall-through edge
+// from the previous current block.
+func (b *builder) startBlock(to *Block) {
+	b.edge(b.cur, to)
+	b.cur = to
+}
+
+// deadBlock replaces the current block with a fresh one that has no
+// predecessors, used after an unconditional jump (return, break, goto).
+func (b *builder) deadBlock() {
+	b.cur = b.newBlock()
+}
+
+func (b *builder) add(n ast.Node) {
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+// takeLabel consumes the pending label for the statement being built.
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *builder) pushLoop(label string, brk, cont *Block) {
+	b.breaks = append(b.breaks, target{label: label, block: brk})
+	b.continues = append(b.continues, target{label: label, block: cont})
+}
+
+func (b *builder) popLoop() {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+}
+
+func (b *builder) pushBreak(label string, brk *Block) {
+	b.breaks = append(b.breaks, target{label: label, block: brk})
+}
+
+func (b *builder) popBreak() {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+}
+
+func findTarget(stack []target, label string) (*Block, bool) {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if label == "" || stack[i].label == label {
+			return stack[i].block, true
+		}
+	}
+	return nil, false
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		for _, inner := range s.List {
+			b.stmt(inner)
+		}
+
+	case *ast.LabeledStmt:
+		name := s.Label.Name
+		switch s.Stmt.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			// The loop/switch builder registers the label on its own
+			// break/continue targets; its header block doubles as the
+			// goto target.
+			b.pendingLabel = name
+			b.stmt(s.Stmt)
+		default:
+			lb := b.newBlock()
+			b.startBlock(lb)
+			b.labels[name] = lb
+			b.stmt(s.Stmt)
+		}
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Cond)
+		cond := b.cur
+		thenB := b.newBlock()
+		b.edge(cond, thenB)
+		b.cur = thenB
+		b.stmt(s.Body)
+		afterThen := b.cur
+		join := b.newBlock()
+		if s.Else != nil {
+			elseB := b.newBlock()
+			b.edge(cond, elseB)
+			b.cur = elseB
+			b.stmt(s.Else)
+			b.edge(b.cur, join)
+		} else {
+			b.edge(cond, join)
+		}
+		b.edge(afterThen, join)
+		b.cur = join
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		header := b.newBlock()
+		b.startBlock(header)
+		if label != "" {
+			b.labels[label] = header
+		}
+		if s.Cond != nil {
+			b.add(s.Cond)
+		}
+		after := b.newBlock()
+		var post *Block
+		cont := header
+		if s.Post != nil {
+			post = b.newBlock()
+			post.Nodes = append(post.Nodes, s.Post)
+			b.edge(post, header)
+			cont = post
+		}
+		body := b.newBlock()
+		b.edge(header, body)
+		if s.Cond != nil {
+			b.edge(header, after)
+		}
+		b.pushLoop(label, after, cont)
+		b.cur = body
+		b.stmt(s.Body)
+		b.edge(b.cur, cont)
+		b.popLoop()
+		b.cur = after
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		header := b.newBlock()
+		b.startBlock(header)
+		if label != "" {
+			b.labels[label] = header
+		}
+		header.Nodes = append(header.Nodes, s)
+		after := b.newBlock()
+		body := b.newBlock()
+		b.edge(header, body)
+		b.edge(header, after)
+		b.pushLoop(label, after, header)
+		b.cur = body
+		b.stmt(s.Body)
+		b.edge(b.cur, header)
+		b.popLoop()
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.caseClauses(label, s.Body, true)
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Assign)
+		b.caseClauses(label, s.Body, false)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		head := b.cur
+		if label != "" {
+			b.labels[label] = head
+		}
+		after := b.newBlock()
+		b.pushBreak(label, after)
+		hasClause := false
+		for _, clause := range s.Body.List {
+			comm, ok := clause.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			hasClause = true
+			cb := b.newBlock()
+			b.edge(head, cb)
+			b.cur = cb
+			if comm.Comm != nil {
+				b.stmt(comm.Comm)
+			}
+			for _, inner := range comm.Body {
+				b.stmt(inner)
+			}
+			b.edge(b.cur, after)
+		}
+		b.popBreak()
+		// `select {}` blocks forever: no edge out of head, after is
+		// unreachable, which is exactly right.
+		_ = hasClause
+		b.cur = after
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.g.Exit)
+		b.deadBlock()
+
+	case *ast.BranchStmt:
+		switch s.Tok.String() {
+		case "break":
+			label := ""
+			if s.Label != nil {
+				label = s.Label.Name
+			}
+			if t, ok := findTarget(b.breaks, label); ok {
+				b.edge(b.cur, t)
+			} else {
+				b.edge(b.cur, b.g.Exit)
+			}
+			b.deadBlock()
+		case "continue":
+			label := ""
+			if s.Label != nil {
+				label = s.Label.Name
+			}
+			if t, ok := findTarget(b.continues, label); ok {
+				b.edge(b.cur, t)
+			} else {
+				b.edge(b.cur, b.g.Exit)
+			}
+			b.deadBlock()
+		case "goto":
+			b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: s.Label.Name})
+			b.deadBlock()
+		case "fallthrough":
+			// Handled by caseClauses, which links the enclosing case
+			// block to the next clause. Nothing to do here.
+		}
+
+	case *ast.DeferStmt:
+		b.g.Defers = append(b.g.Defers, s)
+		b.add(s)
+
+	case nil:
+		// Absent optional statement.
+
+	default:
+		// Straight-line statements: expressions, assignments, sends,
+		// declarations, go statements, inc/dec, empty.
+		b.add(s)
+	}
+}
+
+// caseClauses builds the clause blocks of a switch or type switch.
+// allowFallthrough distinguishes expression switches (where a trailing
+// fallthrough links consecutive clauses) from type switches.
+func (b *builder) caseClauses(label string, body *ast.BlockStmt, allowFallthrough bool) {
+	head := b.cur
+	if label != "" {
+		b.labels[label] = head
+	}
+	after := b.newBlock()
+
+	var clauses []*ast.CaseClause
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok {
+			clauses = append(clauses, cc)
+		}
+	}
+	// Create every clause block first so fallthrough can link forward.
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, cc := range clauses {
+		blocks[i] = b.newBlock()
+		b.edge(head, blocks[i])
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		b.edge(head, after)
+	}
+	b.pushBreak(label, after)
+	for i, cc := range clauses {
+		b.cur = blocks[i]
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		falls := false
+		for j, inner := range cc.Body {
+			if br, ok := inner.(*ast.BranchStmt); ok && allowFallthrough && br.Tok.String() == "fallthrough" && j == len(cc.Body)-1 {
+				falls = true
+				break
+			}
+			b.stmt(inner)
+		}
+		if falls && i+1 < len(blocks) {
+			b.edge(b.cur, blocks[i+1])
+			continue
+		}
+		b.edge(b.cur, after)
+	}
+	b.popBreak()
+	b.cur = after
+}

@@ -1,0 +1,271 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// build parses a function body (the braces included) and returns its
+// graph.
+func build(t *testing.T, body string) *Graph {
+	t.Helper()
+	src := "package p\n\nfunc f() " + body
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "f.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parsing test body: %v", err)
+	}
+	return New(f.Decls[0].(*ast.FuncDecl).Body)
+}
+
+// reach returns the set of blocks reachable from start.
+func reach(start *Block) map[*Block]bool {
+	seen := map[*Block]bool{start: true}
+	work := []*Block{start}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, s := range b.Succs {
+			if !seen[s] {
+				seen[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return seen
+}
+
+// blockOf finds the reachable block containing a call to the named
+// function, or nil.
+func blockOf(g *Graph, name string) *Block {
+	for b := range reach(g.Entry) {
+		for _, n := range b.Nodes {
+			found := false
+			ast.Inspect(n, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && id.Name == name {
+					found = true
+				}
+				return !found
+			})
+			if found {
+				return b
+			}
+		}
+	}
+	return nil
+}
+
+func TestStraightLine(t *testing.T) {
+	g := build(t, "{ a(); b() }")
+	if !reach(g.Entry)[g.Exit] {
+		t.Fatal("exit unreachable in straight-line body")
+	}
+	if len(g.Entry.Nodes) != 2 {
+		t.Fatalf("entry has %d nodes, want 2", len(g.Entry.Nodes))
+	}
+}
+
+func TestIfElseJoins(t *testing.T) {
+	g := build(t, "{ if c() { a() } else { b() }; d() }")
+	seen := reach(g.Entry)
+	for _, name := range []string{"a", "b", "d"} {
+		if blockOf(g, name) == nil {
+			t.Errorf("call to %s unreachable", name)
+		}
+	}
+	if !seen[g.Exit] {
+		t.Error("exit unreachable")
+	}
+}
+
+func TestReturnSkipsRest(t *testing.T) {
+	g := build(t, "{ if c() { return }; a() }")
+	ret := false
+	for b := range reach(g.Entry) {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.ReturnStmt); ok {
+				for _, s := range b.Succs {
+					if s == g.Exit {
+						ret = true
+					}
+				}
+			}
+		}
+	}
+	if !ret {
+		t.Error("return block has no edge to exit")
+	}
+	if blockOf(g, "a") == nil {
+		t.Error("statement after the if is unreachable")
+	}
+}
+
+func TestInfiniteLoopHasNoExitPath(t *testing.T) {
+	g := build(t, "{ for { a() } }")
+	if reach(g.Entry)[g.Exit] {
+		t.Error("for {} should not reach the exit")
+	}
+	b := blockOf(g, "a")
+	if b == nil {
+		t.Fatal("loop body unreachable")
+	}
+	// The body must loop back: some successor chain returns to it.
+	if !reach(b)[b] {
+		t.Error("loop body has no back edge to itself")
+	}
+}
+
+func TestLoopBreakReachesAfter(t *testing.T) {
+	g := build(t, "{ for { if c() { break }; a() }; d() }")
+	if blockOf(g, "d") == nil {
+		t.Error("break does not reach the statement after the loop")
+	}
+	if !reach(g.Entry)[g.Exit] {
+		t.Error("exit unreachable despite break")
+	}
+}
+
+func TestLabeledBreak(t *testing.T) {
+	g := build(t, "{ L: for { for { break L } }; d() }")
+	if blockOf(g, "d") == nil {
+		t.Error("labeled break does not reach past the outer loop")
+	}
+}
+
+func TestCondLoopExits(t *testing.T) {
+	g := build(t, "{ for c() { a() }; d() }")
+	if blockOf(g, "d") == nil {
+		t.Error("conditional loop never exits")
+	}
+	body := blockOf(g, "a")
+	if body == nil || !reach(body)[body] {
+		t.Error("conditional loop body has no back edge")
+	}
+}
+
+func TestRangeLoop(t *testing.T) {
+	g := build(t, "{ for _, v := range xs { use(v) }; d() }")
+	if blockOf(g, "d") == nil {
+		t.Error("range loop never exits")
+	}
+	var rangeBlock *Block
+	for b := range reach(g.Entry) {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.RangeStmt); ok {
+				rangeBlock = b
+			}
+		}
+	}
+	if rangeBlock == nil {
+		t.Fatal("no block carries the RangeStmt header")
+	}
+}
+
+func TestSwitchWithoutDefaultFallsPast(t *testing.T) {
+	g := build(t, "{ switch x { case 1: a() }; d() }")
+	head := blockOf(g, "x")
+	if head == nil {
+		t.Fatal("no block carries the switch tag")
+	}
+	after := blockOf(g, "d")
+	direct := false
+	for _, s := range head.Succs {
+		if s == after {
+			direct = true
+		}
+	}
+	if !direct {
+		t.Error("switch without default has no edge past the cases")
+	}
+}
+
+func TestSwitchWithDefaultCoversAll(t *testing.T) {
+	g := build(t, "{ switch x { case 1: a(); default: b() }; d() }")
+	head := blockOf(g, "x")
+	after := blockOf(g, "d")
+	for _, s := range head.Succs {
+		if s == after {
+			t.Error("switch with default should not bypass the clauses")
+		}
+	}
+}
+
+func TestFallthroughLinksClauses(t *testing.T) {
+	g := build(t, "{ switch x { case 1: a(); fallthrough; case 2: b() }; d() }")
+	aBlock := blockOf(g, "a")
+	bBlock := blockOf(g, "b")
+	if aBlock == nil || bBlock == nil {
+		t.Fatal("clause bodies unreachable")
+	}
+	linked := false
+	for _, s := range aBlock.Succs {
+		if s == bBlock {
+			linked = true
+		}
+	}
+	if !linked {
+		t.Error("fallthrough does not link clause 1 to clause 2")
+	}
+}
+
+func TestSelectClauses(t *testing.T) {
+	g := build(t, "{ select { case <-done: return; case v := <-ch: use(v) }; d() }")
+	if blockOf(g, "use") == nil {
+		t.Error("receive clause unreachable")
+	}
+	if blockOf(g, "d") == nil {
+		t.Error("statement after select unreachable")
+	}
+}
+
+func TestEmptySelectBlocksForever(t *testing.T) {
+	g := build(t, "{ select {}; d() }")
+	if reach(g.Entry)[g.Exit] {
+		t.Error("select {} should not reach the exit")
+	}
+}
+
+func TestDefersCollected(t *testing.T) {
+	g := build(t, "{ defer a(); if c() { defer b() } }")
+	if len(g.Defers) != 2 {
+		t.Fatalf("collected %d defers, want 2", len(g.Defers))
+	}
+}
+
+func TestGotoBackward(t *testing.T) {
+	g := build(t, "{ L: a(); if c() { goto L }; d() }")
+	aBlock := blockOf(g, "a")
+	if aBlock == nil {
+		t.Fatal("labeled statement unreachable")
+	}
+	if !reach(aBlock)[aBlock] {
+		t.Error("goto L does not loop back to the label")
+	}
+	if blockOf(g, "d") == nil {
+		t.Error("fallthrough path past the goto unreachable")
+	}
+}
+
+func TestTypeSwitch(t *testing.T) {
+	g := build(t, "{ switch v := x.(type) { case int: use(v); case string: other(v) }; d() }")
+	if blockOf(g, "use") == nil || blockOf(g, "other") == nil {
+		t.Error("type switch clause unreachable")
+	}
+	if blockOf(g, "d") == nil {
+		t.Error("statement after type switch unreachable")
+	}
+}
+
+func TestExitIsLastBlock(t *testing.T) {
+	g := build(t, "{ a() }")
+	if g.Blocks[len(g.Blocks)-1] != g.Exit {
+		t.Error("exit is not the last block")
+	}
+	for i, b := range g.Blocks {
+		if b.Index != i {
+			t.Errorf("block %d has Index %d", i, b.Index)
+		}
+	}
+}

@@ -38,17 +38,53 @@
 //     context.TODO — contexts are originated by cmd/ binaries and tests
 //     and flow down, so cancellation always propagates.
 //
+// The second generation is flow-sensitive, built on the intraprocedural
+// CFG builder in the cfg subpackage plus per-function call-graph
+// summaries (callgraph.go) that resolve calls — interface dispatch
+// included — against every loaded package:
+//
+//   - lockorder: the cross-package lock-acquisition graph is acyclic. A
+//     forward may-hold dataflow over every function in internal/registry,
+//     internal/sched, internal/store, and internal/platform records an
+//     edge whenever lock B is acquired while A is held, including through
+//     transitive call chains; cycles are potential deadlocks, reported
+//     with the witness acquisition sites and call paths. Lock identity is
+//     type-based ("pkg.Type.field"), the granularity at which an ordering
+//     discipline is stated. BuildLockGraph is exported for tests that
+//     assert the documented hierarchy against the reconstructed one.
+//   - exhaustive: every switch over an enum-like named type declared in
+//     internal/platform, internal/store, or internal/sched (≥3 declared
+//     constants) covers all constants or carries a non-empty default; an
+//     empty default is reported as the silent drop it is. This is what
+//     turns "new WAL event type without an Apply case" into a lint
+//     failure instead of a replay divergence.
+//   - goroleak: every go statement in internal packages spawns a body
+//     that reaches a join or cancel point on all CFG paths — a deferred
+//     WaitGroup.Done or close, a channel send/receive/range, a ctx-done
+//     select, or a WaitGroup.Wait. Runs-to-completion-without-joining and
+//     can-spin-forever are reported separately; a body declared outside
+//     the package is reported at the spawn site.
+//   - detflow: a forward taint pass per function. Sources are map-range
+//     keys/values and clock reads (time.Now or a func() time.Time seam
+//     value); sinks are WAL-encoded store types (Event, State, *Record,
+//     *Payload) and Report/Audit types in the settle-output packages;
+//     an explicit sort.*/slices.Sort* launders the taint. Tainted bytes
+//     in those sinks break the replay/report equality the paper's
+//     incentive argument rests on.
+//
 // # Suppression
 //
 // A finding is suppressed by a directive comment on the same line or the
-// line immediately above:
+// line immediately above, or for a whole file:
 //
 //	//lint:allow <rule> <justification>
+//	//lint:allowfile <rule> <justification>
 //
 // The rule name is the analyzer name (several may be given,
 // comma-separated). The justification is free text but should say why the
 // invariant genuinely does not apply; the directive is the audit trail a
-// reviewer reads.
+// reviewer reads. It is mandatory: a directive without one suppresses
+// nothing and is itself reported under the lintdirective rule.
 //
 // # Loading
 //
@@ -61,6 +97,7 @@
 // module's dependency closure.
 //
 // The cmd/imc2lint driver runs the suite over the module and exits 0 when
-// clean, 1 on findings, and 2 when loading fails; CI runs it alongside go
-// vet on every push.
+// clean, 1 on findings, and 2 when loading fails; -json emits a flat
+// array, -sarif a SARIF 2.1.0 log that CI uploads to code scanning. CI
+// runs the gate alongside go vet on every push.
 package lint

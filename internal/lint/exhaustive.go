@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// exhaustiveScope names the packages whose enum-like constant sets a
+// switch must cover in full: the lifecycle state machine, the WAL event
+// vocabulary, and the scheduler's admission states. A switch anywhere
+// in the module over one of these types is checked — the danger case is
+// precisely a remote package (wire, cmd) dispatching on a state it does
+// not own.
+var exhaustiveScope = []string{"internal/platform", "internal/store", "internal/sched"}
+
+// ExhaustiveAnalyzer checks that every expression switch over an
+// enum-like named type from the state-machine packages either covers
+// all declared constants of the type or carries a default that does
+// something. An empty default is the same silent drop a missing case
+// is, so it does not count as coverage.
+func ExhaustiveAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "exhaustive",
+		Doc:  "switches over lifecycle state and event-type enums cover every declared constant or carry a non-empty default",
+		Run: func(pass *Pass) {
+			for _, f := range pass.Pkg.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					if sw, ok := n.(*ast.SwitchStmt); ok && sw.Tag != nil {
+						checkExhaustive(pass, sw)
+					}
+					return true
+				})
+			}
+		},
+	}
+}
+
+func checkExhaustive(pass *Pass, sw *ast.SwitchStmt) {
+	tv, ok := pass.Pkg.Info.Types[sw.Tag]
+	if !ok || tv.Type == nil {
+		return
+	}
+	named, ok := types.Unalias(tv.Type).(*types.Named)
+	if !ok {
+		return
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !pathInScope(obj.Pkg().Path(), exhaustiveScope...) {
+		return
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&(types.IsInteger|types.IsString) == 0 {
+		return
+	}
+
+	// Enumerate the type's declared constants from its defining
+	// package's scope. Scope.Names is sorted, so the missing-list is
+	// deterministic. This works for imported enums too: export data
+	// carries the constants.
+	type enumConst struct{ name, val string }
+	var declared []enumConst
+	scope := obj.Pkg().Scope()
+	for _, name := range scope.Names() {
+		c, isConst := scope.Lookup(name).(*types.Const)
+		if !isConst || !sameNamedType(c.Type(), named) {
+			continue
+		}
+		declared = append(declared, enumConst{name, c.Val().ExactString()})
+	}
+	// One or two constants of a type is not an enum contract worth
+	// enforcing; require three to engage.
+	if len(declared) < 3 {
+		return
+	}
+
+	covered := map[string]bool{}
+	var deflt *ast.CaseClause
+	for _, stmt := range sw.Body.List {
+		cc, isCase := stmt.(*ast.CaseClause)
+		if !isCase {
+			continue
+		}
+		if cc.List == nil {
+			deflt = cc
+			continue
+		}
+		for _, e := range cc.List {
+			if etv, hasTV := pass.Pkg.Info.Types[e]; hasTV && etv.Value != nil {
+				covered[etv.Value.ExactString()] = true
+			}
+		}
+	}
+
+	var missing []string
+	for _, d := range declared {
+		if !covered[d.val] {
+			missing = append(missing, d.name)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	typeName := obj.Pkg().Name() + "." + obj.Name()
+	if deflt != nil {
+		if len(deflt.Body) == 0 {
+			pass.Reportf(deflt.Pos(),
+				"switch over %s: empty default silently drops %s; handle them or make the default act (return, error, log)",
+				typeName, strings.Join(missing, ", "))
+		}
+		return
+	}
+	pass.Reportf(sw.Pos(),
+		"switch over %s does not cover %s and has no default: a new %s value would fall through silently",
+		typeName, strings.Join(missing, ", "), obj.Name())
+}
+
+// sameNamedType reports whether t is the same named type as named,
+// compared by defining package and name so the check survives crossing
+// type-check universes.
+func sameNamedType(t types.Type, named *types.Named) bool {
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	a, b := n.Obj(), named.Obj()
+	return a.Name() == b.Name() && a.Pkg() != nil && b.Pkg() != nil && a.Pkg().Path() == b.Pkg().Path()
+}

@@ -1,0 +1,236 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"imc2/internal/lint/cfg"
+)
+
+// GoroleakAnalyzer checks that every goroutine spawned in an internal
+// package reaches a join or cancel point on all control-flow paths: a
+// WaitGroup Done, a channel close, a channel send or receive (which
+// includes selecting on a ctx.Done()-style channel), or a WaitGroup
+// Wait. Two failure shapes are reported: a path that runs to the end of
+// the goroutine without ever synchronizing, and a loop that can spin
+// forever without a cancellation point. Deliberately detached
+// goroutines need a //lint:allow goroleak with the ownership story.
+func GoroleakAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "goroleak",
+		Doc:  "every goroutine reaches a join or cancel point (WaitGroup, channel op, ctx-done select) on all paths",
+		Run: func(pass *Pass) {
+			if !pass.Pkg.InScope("internal") {
+				return
+			}
+			for _, f := range pass.Pkg.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					if g, ok := n.(*ast.GoStmt); ok {
+						checkGoroutine(pass, g)
+					}
+					return true
+				})
+			}
+		},
+	}
+}
+
+func checkGoroutine(pass *Pass, g *ast.GoStmt) {
+	body := spawnedBody(pass, g.Call)
+	if body == nil {
+		pass.Reportf(g.Pos(),
+			"cannot see the spawned function's body (declared outside this package): move the goroutine body here or //lint:allow goroleak with the join protocol")
+		return
+	}
+	// A deferred join (defer wg.Done(), defer close(ch), directly or
+	// inside a deferred closure) covers every path by construction.
+	graph := cfg.New(body)
+	for _, d := range graph.Defers {
+		if deferredJoin(pass, d) {
+			return
+		}
+	}
+
+	// Otherwise walk the CFG: blocks containing a synchronization node
+	// stop propagation, so the reachable set below is "how far the
+	// goroutine can get without ever synchronizing".
+	joinFree := map[*cfg.Block]bool{}
+	var work []*cfg.Block
+	if !blockJoins(pass, graph.Entry) {
+		joinFree[graph.Entry] = true
+		work = append(work, graph.Entry)
+	}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, s := range b.Succs {
+			if joinFree[s] || blockJoins(pass, s) {
+				continue
+			}
+			joinFree[s] = true
+			work = append(work, s)
+		}
+	}
+	if joinFree[graph.Exit] {
+		pass.Reportf(g.Pos(),
+			"goroutine can run to completion without reaching a join or cancel point: no WaitGroup Done, channel op, or ctx-done select on some path")
+		return
+	}
+	// A cycle inside the join-free region is a loop that can spin
+	// forever with no way to cancel it.
+	if hasCycle(joinFree) {
+		pass.Reportf(g.Pos(),
+			"goroutine can loop forever without a cancellation point: add a ctx-done select or channel receive to the loop")
+	}
+}
+
+// spawnedBody resolves the function a go statement runs: a literal's
+// body directly, or the body of a same-package declaration.
+func spawnedBody(pass *Pass, call *ast.CallExpr) *ast.BlockStmt {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		return fun.Body
+	case *ast.Ident:
+		if fn, ok := pass.Pkg.Info.Uses[fun].(*types.Func); ok {
+			return declBodyOf(pass, fn)
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := pass.Pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+			return declBodyOf(pass, fn)
+		}
+	}
+	return nil
+}
+
+func declBodyOf(pass *Pass, fn *types.Func) *ast.BlockStmt {
+	for _, fd := range pass.funcDecls() {
+		if pass.Pkg.Info.Defs[fd.Name] == fn {
+			return fd.Body
+		}
+	}
+	return nil
+}
+
+// deferredJoin reports whether a defer statement guarantees a join: it
+// defers a synchronization call itself or a closure containing one.
+func deferredJoin(pass *Pass, d *ast.DeferStmt) bool {
+	if isJoinCall(pass, d.Call) {
+		return true
+	}
+	if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+		found := false
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok && isJoinCall(pass, call) {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	return false
+}
+
+// blockJoins reports whether executing the block necessarily passes a
+// synchronization point.
+func blockJoins(pass *Pass, b *cfg.Block) bool {
+	for _, node := range b.Nodes {
+		if nodeJoins(pass, node) {
+			return true
+		}
+	}
+	return false
+}
+
+// nodeJoins looks for a synchronization operation inside one CFG node,
+// without descending into nested function literals (their bodies run on
+// their own goroutine or schedule).
+func nodeJoins(pass *Pass, node ast.Node) bool {
+	// Ranging over a channel is a receive per iteration.
+	if r, ok := node.(*ast.RangeStmt); ok {
+		if tv, hasTV := pass.Pkg.Info.Types[r.X]; hasTV && tv.Type != nil {
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+				return true
+			}
+		}
+	}
+	joins := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		if joins {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			joins = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				joins = true
+			}
+		case *ast.CallExpr:
+			if isJoinCall(pass, n) {
+				joins = true
+			}
+		}
+		return !joins
+	})
+	return joins
+}
+
+// isJoinCall recognizes the call forms that join or signal: WaitGroup
+// Done/Wait and the close builtin.
+func isJoinCall(pass *Pass, call *ast.CallExpr) bool {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := pass.Pkg.Info.Uses[id].(*types.Builtin); isBuiltin && id.Name == "close" {
+			return true
+		}
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if fn, isFn := pass.Pkg.Info.Uses[sel.Sel].(*types.Func); isFn {
+			switch fn.FullName() {
+			case "(*sync.WaitGroup).Done", "(*sync.WaitGroup).Wait":
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// hasCycle detects a cycle within the given block set, following only
+// edges that stay inside it.
+func hasCycle(set map[*cfg.Block]bool) bool {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[*cfg.Block]int{}
+	var visit func(*cfg.Block) bool
+	visit = func(b *cfg.Block) bool {
+		color[b] = gray
+		for _, s := range b.Succs {
+			if !set[s] {
+				continue
+			}
+			switch color[s] {
+			case gray:
+				return true
+			case white:
+				if visit(s) {
+					return true
+				}
+			}
+		}
+		color[b] = black
+		return false
+	}
+	for b := range set {
+		if color[b] == white {
+			if visit(b) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -21,12 +21,16 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Rule)
 }
 
-// Analyzer is one named invariant check. Run inspects the pass's package
-// and reports findings through pass.Reportf.
+// Analyzer is one named invariant check. Per-package analyzers set Run,
+// which inspects one package at a time through pass.Reportf. Analyzers
+// whose invariant spans packages (e.g. a cross-package lock-order
+// graph) set RunModule instead and see every loaded package at once.
+// Exactly one of the two should be set.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass)
+	Name      string
+	Doc       string
+	Run       func(*Pass)
+	RunModule func(*ModulePass)
 }
 
 // Package is one loaded, type-checked package.
@@ -45,11 +49,17 @@ type Package struct {
 // segment sequences ("internal/truth" matches "imc2/internal/truth" but
 // not "imc2/internal/truthiness").
 func (p *Package) InScope(segments ...string) bool {
+	return pathInScope(p.Path, segments...)
+}
+
+// pathInScope is InScope over a bare import path, for checks keyed on a
+// type's declaring package rather than the package under analysis.
+func pathInScope(path string, segments ...string) bool {
 	for _, s := range segments {
-		if p.Path == s ||
-			strings.HasPrefix(p.Path, s+"/") ||
-			strings.HasSuffix(p.Path, "/"+s) ||
-			strings.Contains(p.Path, "/"+s+"/") {
+		if path == s ||
+			strings.HasPrefix(path, s+"/") ||
+			strings.HasSuffix(path, "/"+s) ||
+			strings.Contains(path, "/"+s+"/") {
 			return true
 		}
 	}
@@ -72,22 +82,56 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ModulePass carries one module-wide analyzer's run over every loaded
+// package at once.
+type ModulePass struct {
+	Pkgs  []*Package
+	rule  string
+	diags []Diagnostic
+}
+
+// Reportf records a finding at pos, resolved against the package the
+// finding belongs to.
+func (p *ModulePass) Reportf(pkg *Package, pos token.Pos, format string, args ...any) {
+	p.ReportAt(pkg.Fset.Position(pos), format, args...)
+}
+
+// ReportAt records a finding at an already-resolved position, for
+// analyzers that carry positions across packages.
+func (p *ModulePass) ReportAt(pos token.Position, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:     pos,
+		Rule:    p.rule,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
 // Run executes the analyzers over the packages, drops findings
-// suppressed by //lint:allow directives, and returns the remainder
-// sorted by position.
+// suppressed by //lint:allow and //lint:allowfile directives, and
+// returns the remainder sorted by position. Malformed directives
+// (missing justification) are themselves reported under the
+// lintdirective rule.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
-	var all []Diagnostic
-	for _, pkg := range pkgs {
-		allowed := allowDirectives(pkg)
-		for _, a := range analyzers {
-			pass := &Pass{Pkg: pkg, rule: a.Name}
-			a.Run(pass)
-			for _, d := range pass.diags {
-				if allowed.allows(d) {
-					continue
-				}
-				all = append(all, d)
+	dirs := collectDirectives(pkgs)
+	all := append([]Diagnostic(nil), dirs.diags...)
+	for _, a := range analyzers {
+		var diags []Diagnostic
+		if a.RunModule != nil {
+			mp := &ModulePass{Pkgs: pkgs, rule: a.Name}
+			a.RunModule(mp)
+			diags = mp.diags
+		} else {
+			for _, pkg := range pkgs {
+				pass := &Pass{Pkg: pkg, rule: a.Name}
+				a.Run(pass)
+				diags = append(diags, pass.diags...)
 			}
+		}
+		for _, d := range diags {
+			if dirs.lines.allows(d) || dirs.files[d.Pos.Filename][d.Rule] {
+				continue
+			}
+			all = append(all, d)
 		}
 	}
 	sort.Slice(all, func(i, j int) bool {
@@ -106,7 +150,10 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	return all
 }
 
-// Analyzers returns the full suite in reporting order.
+// Analyzers returns the full suite in reporting order: the five
+// syntactic per-function analyzers from the first generation, then the
+// four flow-sensitive ones built on the cfg package and the call-graph
+// summaries.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		DeterminismAnalyzer(),
@@ -114,6 +161,10 @@ func Analyzers() []*Analyzer {
 		LockPairAnalyzer(),
 		ObsNamingAnalyzer(),
 		CtxScopeAnalyzer(),
+		LockOrderAnalyzer(),
+		ExhaustiveAnalyzer(),
+		GoroleakAnalyzer(),
+		DetflowAnalyzer(),
 	}
 }
 
@@ -130,39 +181,98 @@ func (s allowSet) allows(d Diagnostic) bool {
 	return lines[d.Pos.Line][d.Rule] || lines[d.Pos.Line-1][d.Rule]
 }
 
-// allowDirectives scans a package's comments for //lint:allow directives.
-// The directive form is:
+// directives is every suppression in the loaded packages: line-scoped
+// //lint:allow entries, file-scoped //lint:allowfile entries, and the
+// findings for directives that are themselves malformed.
+type directives struct {
+	lines allowSet
+	// files maps filename → rule names suppressed for the whole file.
+	files map[string]map[string]bool
+	// diags reports malformed directives under the lintdirective rule:
+	// a suppression without a justification is a finding, not a wider
+	// suppression.
+	diags []Diagnostic
+}
+
+// collectDirectives scans the packages' comments for suppression
+// directives. The two forms are:
 //
 //	//lint:allow rule[,rule...] justification
-func allowDirectives(pkg *Package) allowSet {
-	set := allowSet{}
-	for _, f := range pkg.Files {
-		for _, group := range f.Comments {
-			for _, c := range group.List {
-				text := strings.TrimPrefix(c.Text, "//")
-				if !strings.HasPrefix(text, "lint:allow") {
-					continue
-				}
-				fields := strings.Fields(strings.TrimPrefix(text, "lint:allow"))
-				if len(fields) == 0 {
-					continue
-				}
-				pos := pkg.Fset.Position(c.Pos())
-				lines := set[pos.Filename]
-				if lines == nil {
-					lines = map[int]map[string]bool{}
-					set[pos.Filename] = lines
-				}
-				rules := lines[pos.Line]
-				if rules == nil {
-					rules = map[string]bool{}
-					lines[pos.Line] = rules
-				}
-				for _, r := range strings.Split(fields[0], ",") {
-					rules[r] = true
+//	//lint:allowfile rule[,rule...] justification
+//
+// The first suppresses findings on its own line or the line below; the
+// second suppresses the named rules for the entire file (for test
+// helpers and scratch fixtures where per-line annotation would drown
+// the code). Both REQUIRE a justification: a bare rule list is reported
+// as a lintdirective finding.
+func collectDirectives(pkgs []*Package) *directives {
+	dirs := &directives{lines: allowSet{}, files: map[string]map[string]bool{}}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, group := range f.Comments {
+				for _, c := range group.List {
+					dirs.scan(pkg, c)
 				}
 			}
 		}
 	}
-	return set
+	return dirs
+}
+
+func (dirs *directives) scan(pkg *Package, c *ast.Comment) {
+	text := strings.TrimPrefix(c.Text, "//")
+	var fields []string
+	fileScope := false
+	switch {
+	case strings.HasPrefix(text, "lint:allowfile"):
+		fields = strings.Fields(strings.TrimPrefix(text, "lint:allowfile"))
+		fileScope = true
+	case strings.HasPrefix(text, "lint:allow"):
+		fields = strings.Fields(strings.TrimPrefix(text, "lint:allow"))
+	default:
+		return
+	}
+	pos := pkg.Fset.Position(c.Pos())
+	if len(fields) == 0 {
+		dirs.diags = append(dirs.diags, Diagnostic{
+			Pos: pos, Rule: "lintdirective",
+			Message: "suppression directive names no rule",
+		})
+		return
+	}
+	if len(fields) < 2 {
+		form := "lint:allow"
+		if fileScope {
+			form = "lint:allowfile"
+		}
+		dirs.diags = append(dirs.diags, Diagnostic{
+			Pos: pos, Rule: "lintdirective",
+			Message: fmt.Sprintf("//%s %s has no justification: state why the exemption is sound", form, fields[0]),
+		})
+		return
+	}
+	if fileScope {
+		rules := dirs.files[pos.Filename]
+		if rules == nil {
+			rules = map[string]bool{}
+			dirs.files[pos.Filename] = rules
+		}
+		for _, r := range strings.Split(fields[0], ",") {
+			rules[r] = true
+		}
+		return
+	}
+	lines := dirs.lines[pos.Filename]
+	if lines == nil {
+		lines = map[int]map[string]bool{}
+		dirs.lines[pos.Filename] = lines
+	}
+	rules := lines[pos.Line]
+	if rules == nil {
+		rules = map[string]bool{}
+		lines[pos.Line] = rules
+	}
+	for _, r := range strings.Split(fields[0], ",") {
+		rules[r] = true
+	}
 }

@@ -3,6 +3,7 @@ package lint
 import (
 	"path/filepath"
 	"regexp"
+	"strings"
 	"testing"
 )
 
@@ -19,6 +20,10 @@ var fixtureCases = []struct {
 	{"lockfix", "scratchfix/internal/registry"},
 	{"obsfix", "scratchfix/internal/metrics"},
 	{"ctxfix", "scratchfix/internal/app"},
+	{"lockorderfix", "scratchfix/internal/sched"},
+	{"exhaustfix", "scratchfix/internal/store"},
+	{"goroleakfix", "scratchfix/internal/worker"},
+	{"detflowfix", "scratchfix/internal/store"},
 }
 
 // wantRE extracts the expectation regexp from a `// want "..."` comment.
@@ -86,6 +91,36 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestAllowfileDirectives pins the file-scope suppression contract: a
+// justified //lint:allowfile silences the named rule for its whole
+// file, while an unjustified one suppresses nothing and is itself
+// reported under lintdirective. (This lives outside the want-comment
+// fixtures because a want comment appended to a directive line would
+// read as the directive's justification.)
+func TestAllowfileDirectives(t *testing.T) {
+	pkg, err := LoadDir("../..", filepath.Join("testdata", "src", "allowfilefix"), "scratchfix/internal/app")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags := Run([]*Package{pkg}, Analyzers())
+	var gotRules []string
+	for _, d := range diags {
+		gotRules = append(gotRules, d.Rule)
+		if filepath.Base(d.Pos.Filename) == "justified.go" {
+			t.Errorf("justified allowfile did not suppress: %s", d)
+		}
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics %v, want exactly 2 (lintdirective + surviving ctxscope)", len(diags), gotRules)
+	}
+	if diags[0].Rule != "lintdirective" || !strings.Contains(diags[0].Message, "no justification") {
+		t.Errorf("first diagnostic = %s, want a lintdirective no-justification finding", diags[0])
+	}
+	if diags[1].Rule != "ctxscope" {
+		t.Errorf("second diagnostic = %s, want the unsuppressed ctxscope finding", diags[1])
 	}
 }
 

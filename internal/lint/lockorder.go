@@ -1,0 +1,473 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+
+	"imc2/internal/lint/cfg"
+)
+
+// lockOrderScope names the packages whose lock nesting participates in
+// the global acquisition order: the shared-state subsystems plus the
+// platform state machine they bracket.
+var lockOrderScope = []string{
+	"internal/registry", "internal/sched", "internal/store", "internal/platform",
+}
+
+// LockEdge is one observed ordering: the lock named To was (possibly)
+// acquired while From was held. Pos is the acquisition site of To; Via
+// is the call chain from the function that held From down to the
+// function containing the acquisition.
+type LockEdge struct {
+	From string
+	To   string
+	Pos  token.Position
+	Via  []string
+}
+
+// LockGraph is the module's lock-acquisition order graph. Lock identity
+// is type-based — every instance of a struct field mutex is one node,
+// named "pkgpath.TypeName.field" (package-level mutexes are
+// "pkgpath.var", function-local ones "pkgpath.func.var") — which is the
+// granularity at which an ordering discipline is stated and enforced.
+type LockGraph struct {
+	// Edges holds every distinct From→To ordering, deterministic across
+	// runs, first witness kept.
+	Edges []LockEdge
+
+	adj map[string][]string
+}
+
+// Edge returns the witness for a From→To ordering, if one was observed.
+func (g *LockGraph) Edge(from, to string) (LockEdge, bool) {
+	for _, e := range g.Edges {
+		if e.From == from && e.To == to {
+			return e, true
+		}
+	}
+	return LockEdge{}, false
+}
+
+// Cycles returns every distinct cycle in the graph, each as its witness
+// edge sequence (A→B, B→C, C→A). An acyclic graph — a consistent
+// global acquisition order — returns nothing. A self-edge (a lock
+// acquired while already held) is a one-edge cycle.
+func (g *LockGraph) Cycles() [][]LockEdge {
+	seen := map[string]bool{}
+	var cycles [][]LockEdge
+	for _, e := range g.Edges {
+		var nodes []string
+		if e.From == e.To {
+			nodes = []string{e.From, e.To}
+		} else if path := g.path(e.To, e.From); path != nil {
+			nodes = append([]string{e.From}, path...)
+		} else {
+			continue
+		}
+		key := canonicalCycle(nodes)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		var edges []LockEdge
+		for i := 0; i+1 < len(nodes); i++ {
+			we, _ := g.Edge(nodes[i], nodes[i+1])
+			edges = append(edges, we)
+		}
+		cycles = append(cycles, edges)
+	}
+	return cycles
+}
+
+// path finds a node path from → ... → to over the adjacency relation
+// (inclusive of both ends), or nil if to is unreachable.
+func (g *LockGraph) path(from, to string) []string {
+	parent := map[string]string{}
+	visited := map[string]bool{from: true}
+	queue := []string{from}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if n == to {
+			rev := []string{to}
+			for cur := to; cur != from; cur = parent[cur] {
+				rev = append(rev, parent[cur])
+			}
+			for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+				rev[i], rev[j] = rev[j], rev[i]
+			}
+			return rev
+		}
+		for _, s := range g.adj[n] {
+			if !visited[s] {
+				visited[s] = true
+				parent[s] = n
+				queue = append(queue, s)
+			}
+		}
+	}
+	return nil
+}
+
+// canonicalCycle keys a cycle node list (first == last) independent of
+// its rotation.
+func canonicalCycle(nodes []string) string {
+	body := nodes[:len(nodes)-1]
+	min := 0
+	for i := range body {
+		if body[i] < body[min] {
+			min = i
+		}
+	}
+	rotated := append(append([]string{}, body[min:]...), body[:min]...)
+	return strings.Join(rotated, "→")
+}
+
+// BuildLockGraph runs the interprocedural lock-order analysis over the
+// loaded packages and returns the acquisition graph. Only functions in
+// lockOrderScope packages are analyzed as roots, but calls are resolved
+// against every loaded package so an edge through a helper in another
+// package is still observed.
+func BuildLockGraph(pkgs []*Package) *LockGraph {
+	la := &lockAnalysis{
+		ci:       buildCallIndex(pkgs),
+		memo:     map[string]lockSummary{},
+		visiting: map[string]bool{},
+		edgeSeen: map[string]bool{},
+	}
+	for _, pkg := range pkgs {
+		if !pkg.InScope(lockOrderScope...) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				name := displayFuncName(pkg, fd)
+				la.analyzeRoot(pkg, name, fd.Body)
+				// Closures are independent roots: their bodies run on
+				// their own schedule (goroutines, stored hooks), so the
+				// nesting they create is analyzed from their own entry.
+				funcLits(fd.Body, func(lit *ast.FuncLit) {
+					litName := fmt.Sprintf("%s.func@line%d", name, pkg.Fset.Position(lit.Pos()).Line)
+					la.analyzeRoot(pkg, litName, lit.Body)
+				})
+			}
+		}
+	}
+	g := &LockGraph{Edges: la.edges, adj: map[string][]string{}}
+	for _, e := range la.edges {
+		g.adj[e.From] = append(g.adj[e.From], e.To)
+	}
+	return g
+}
+
+// LockOrderAnalyzer reports every cycle in the module's lock-order
+// graph as a potential deadlock, with the witness acquisitions printed.
+func LockOrderAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "lockorder",
+		Doc:  "the cross-package lock-acquisition graph is acyclic: a consistent global lock order exists",
+		RunModule: func(mp *ModulePass) {
+			graph := BuildLockGraph(mp.Pkgs)
+			for _, cyc := range graph.Cycles() {
+				mp.ReportAt(cyc[0].Pos, "%s", cycleMessage(cyc))
+			}
+		},
+	}
+}
+
+// cycleMessage renders one cycle with its witness path.
+func cycleMessage(cyc []LockEdge) string {
+	if len(cyc) == 1 && cyc[0].From == cyc[0].To {
+		return fmt.Sprintf("potential self-deadlock: %s acquired while already held (via %s)",
+			shortLockName(cyc[0].To), strings.Join(shortNames(cyc[0].Via), " → "))
+	}
+	names := []string{shortLockName(cyc[0].From)}
+	for _, e := range cyc {
+		names = append(names, shortLockName(e.To))
+	}
+	var wits []string
+	for _, e := range cyc {
+		wits = append(wits, fmt.Sprintf("%s acquired at %s:%d while %s held in %s",
+			shortLockName(e.To), filepath.Base(e.Pos.Filename), e.Pos.Line,
+			shortLockName(e.From), strings.Join(shortNames(e.Via), " → ")))
+	}
+	return fmt.Sprintf("potential deadlock: lock-order cycle %s (%s)",
+		strings.Join(names, " → "), strings.Join(wits, "; "))
+}
+
+// pathSegRE strips leading path segments so message names read
+// "store.FileStore.mu" rather than the full import path.
+var pathSegRE = regexp.MustCompile(`[\w.~-]+/`)
+
+func shortLockName(s string) string { return pathSegRE.ReplaceAllString(s, "") }
+
+func shortNames(via []string) []string {
+	out := make([]string, len(via))
+	for i, v := range via {
+		out[i] = pathSegRE.ReplaceAllString(v, "")
+	}
+	return out
+}
+
+// lockAcq is one acquisition a function may perform, directly or
+// through calls: the lock class, the site, and the call chain from the
+// summarized function down to the acquiring one.
+type lockAcq struct {
+	class string
+	pos   token.Position
+	chain []string
+}
+
+// lockSummary maps lock class → representative acquisition witness.
+type lockSummary map[string]lockAcq
+
+type lockAnalysis struct {
+	ci       *callIndex
+	memo     map[string]lockSummary
+	visiting map[string]bool
+	edges    []LockEdge
+	edgeSeen map[string]bool
+}
+
+func (la *lockAnalysis) addEdge(from, to string, pos token.Position, via []string) {
+	key := from + "\x00" + to
+	if la.edgeSeen[key] {
+		return
+	}
+	la.edgeSeen[key] = true
+	la.edges = append(la.edges, LockEdge{From: from, To: to, Pos: pos, Via: via})
+}
+
+// analyzeRoot runs the forward may-hold dataflow over one function
+// body: at each acquisition or call, every currently-held lock orders
+// before every lock the operation may take.
+func (la *lockAnalysis) analyzeRoot(pkg *Package, name string, body *ast.BlockStmt) {
+	g := cfg.New(body)
+	in := make([]map[string]bool, len(g.Blocks))
+	for i := range in {
+		in[i] = map[string]bool{}
+	}
+	// Seed the worklist with every block, not just the entry: a block
+	// must be visited at least once even when no lock state flows into
+	// it, or acquisitions below an empty-in-set block are never seen.
+	work := make([]*cfg.Block, len(g.Blocks))
+	queued := map[int]bool{}
+	for i, b := range g.Blocks {
+		work[i] = b
+		queued[b.Index] = true
+	}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b.Index] = false
+		held := map[string]bool{}
+		for c := range in[b.Index] {
+			held[c] = true
+		}
+		for _, node := range b.Nodes {
+			la.transferNode(pkg, name, node, held)
+		}
+		for _, s := range b.Succs {
+			changed := false
+			for c := range held {
+				if !in[s.Index][c] {
+					in[s.Index][c] = true
+					changed = true
+				}
+			}
+			if changed && !queued[s.Index] {
+				queued[s.Index] = true
+				work = append(work, s)
+			}
+		}
+	}
+}
+
+// transferNode updates the held set across one CFG node. Deferred
+// statements are skipped (they run at exit, so a deferred unlock does
+// not release during the body) and go statements are skipped (the
+// spawned goroutine holds nothing; its body is analyzed as its own
+// root).
+func (la *lockAnalysis) transferNode(pkg *Package, name string, node ast.Node, held map[string]bool) {
+	switch node.(type) {
+	case *ast.DeferStmt, *ast.GoStmt:
+		return
+	}
+	callsIn(node, func(call *ast.CallExpr) {
+		la.visitCall(pkg, name, call, held)
+	})
+}
+
+func (la *lockAnalysis) visitCall(pkg *Package, name string, call *ast.CallExpr, held map[string]bool) {
+	if site, ok := syncCallIn(pkg, call); ok {
+		class := lockClassOf(pkg, call, name)
+		if _, isAcquire := lockMethods[site.method]; isAcquire {
+			pos := pkg.Fset.Position(call.Pos())
+			for _, h := range sortedKeys(held) {
+				la.addEdge(h, class, pos, []string{name})
+			}
+			held[class] = true
+		} else {
+			delete(held, class)
+		}
+		return
+	}
+	if len(held) == 0 {
+		return
+	}
+	for _, callee := range la.ci.resolve(pkg, call) {
+		summ := la.summarize(callee)
+		classes := make([]string, 0, len(summ))
+		for c := range summ {
+			classes = append(classes, c)
+		}
+		sort.Strings(classes)
+		for _, class := range classes {
+			acq := summ[class]
+			via := append([]string{name}, acq.chain...)
+			for _, h := range sortedKeys(held) {
+				la.addEdge(h, class, acq.pos, via)
+			}
+		}
+	}
+}
+
+// summarize computes the transitive may-acquire set of a declared
+// function: every lock class it can take directly or through calls,
+// with a representative witness. Recursion is cut at the visiting set
+// (the partial summary is sound for a may-analysis).
+func (la *lockAnalysis) summarize(site *declSite) lockSummary {
+	key := site.fn.FullName()
+	if s, ok := la.memo[key]; ok {
+		return s
+	}
+	if la.visiting[key] {
+		return nil
+	}
+	la.visiting[key] = true
+	defer delete(la.visiting, key)
+
+	name := displayFuncName(site.pkg, site.decl)
+	out := lockSummary{}
+	lockWalk(site.decl.Body, func(call *ast.CallExpr) {
+		if lock, ok := syncCallIn(site.pkg, call); ok {
+			if _, isAcquire := lockMethods[lock.method]; isAcquire {
+				class := lockClassOf(site.pkg, call, name)
+				if _, seen := out[class]; !seen {
+					out[class] = lockAcq{class: class, pos: site.pkg.Fset.Position(call.Pos()), chain: []string{name}}
+				}
+			}
+			return
+		}
+		for _, callee := range la.ci.resolve(site.pkg, call) {
+			sub := la.summarize(callee)
+			classes := make([]string, 0, len(sub))
+			for c := range sub {
+				classes = append(classes, c)
+			}
+			sort.Strings(classes)
+			for _, class := range classes {
+				if _, seen := out[class]; !seen {
+					acq := sub[class]
+					out[class] = lockAcq{class: class, pos: acq.pos, chain: append([]string{name}, acq.chain...)}
+				}
+			}
+		}
+	})
+	la.memo[key] = out
+	return out
+}
+
+// lockWalk visits the call expressions of a body in source order,
+// skipping function literals (separate roots), deferred calls (run at
+// exit), and go statements (run on another goroutine).
+func lockWalk(body *ast.BlockStmt, visit func(*ast.CallExpr)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.DeferStmt, *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			visit(n)
+		}
+		return true
+	})
+}
+
+// funcLits visits every function literal under root, including nested
+// ones.
+func funcLits(root ast.Node, visit func(*ast.FuncLit)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			visit(lit)
+		}
+		return true
+	})
+}
+
+// lockClassOf names the lock a sync call's receiver denotes. Struct
+// field mutexes class by owning type ("pkg.Type.field"), package-level
+// mutexes by package ("pkg.var"), locals by enclosing function.
+func lockClassOf(pkg *Package, call *ast.CallExpr, enclosing string) string {
+	sel := call.Fun.(*ast.SelectorExpr)
+	recv := ast.Unparen(sel.X)
+	switch r := recv.(type) {
+	case *ast.SelectorExpr:
+		if s, ok := pkg.Info.Selections[r]; ok {
+			t := s.Recv()
+			if ptr, isPtr := t.(*types.Pointer); isPtr {
+				t = ptr.Elem()
+			}
+			if named, isNamed := t.(*types.Named); isNamed && named.Obj().Pkg() != nil {
+				return named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + r.Sel.Name
+			}
+		}
+		if v, ok := pkg.Info.Uses[r.Sel].(*types.Var); ok && v.Pkg() != nil {
+			return v.Pkg().Path() + "." + v.Name()
+		}
+	case *ast.Ident:
+		if v, ok := pkg.Info.Uses[r].(*types.Var); ok {
+			if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				return v.Pkg().Path() + "." + v.Name()
+			}
+			// A named non-sync receiver means the mutex is embedded in
+			// the struct: class by the embedding type.
+			t := v.Type()
+			if ptr, isPtr := t.(*types.Pointer); isPtr {
+				t = ptr.Elem()
+			}
+			if named, isNamed := t.(*types.Named); isNamed && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() != "sync" {
+				return named.Obj().Pkg().Path() + "." + named.Obj().Name() + ".#embedded"
+			}
+			return pkg.Path + "." + enclosing + "." + v.Name()
+		}
+	}
+	return pkg.Path + "." + enclosing + "." + types.ExprString(recv)
+}
+
+// displayFuncName renders a declaration for witness chains:
+// "pkg/path.Func" or "(*pkg/path.Type).Method".
+func displayFuncName(pkg *Package, fd *ast.FuncDecl) string {
+	if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+		return fn.FullName()
+	}
+	return pkg.Path + "." + fd.Name.Name
+}
+
+func sortedKeys(m map[string]bool) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

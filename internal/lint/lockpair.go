@@ -116,11 +116,17 @@ func checkLockPairs(pass *Pass, decl *ast.FuncDecl) {
 // syncCall resolves a call to a sync.Mutex/RWMutex lock-family method,
 // returning the receiver's source text and the method's full name.
 func (p *Pass) syncCall(call *ast.CallExpr) (lockSite, bool) {
+	return syncCallIn(p.Pkg, call)
+}
+
+// syncCallIn is syncCall against an explicit package, shared with the
+// module-wide lockorder analyzer.
+func syncCallIn(pkg *Package, call *ast.CallExpr) (lockSite, bool) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
 		return lockSite{}, false
 	}
-	fn, ok := p.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
 	if !ok {
 		return lockSite{}, false
 	}

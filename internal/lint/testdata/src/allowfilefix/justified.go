@@ -1,0 +1,18 @@
+// Package allowfilefix exercises file-scope suppression: a justified
+// //lint:allowfile silences the named rule for the whole file, while an
+// unjustified one is itself a finding and suppresses nothing.
+package allowfilefix
+
+//lint:allowfile ctxscope scratch fixture: this helper deliberately severs cancellation to pin the suppression behavior
+
+import "context"
+
+// detached would be a ctxscope finding without the allowfile above.
+func detached() context.Context {
+	return context.Background()
+}
+
+// alsoDetached shows the suppression is file-wide, not line-scoped.
+func alsoDetached() context.Context {
+	return context.TODO()
+}

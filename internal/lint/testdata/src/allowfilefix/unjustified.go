@@ -1,0 +1,12 @@
+package allowfilefix
+
+//lint:allowfile ctxscope
+
+import "context"
+
+// stillFlagged proves a bare allowfile suppresses nothing: the
+// directive above is a lintdirective finding, and the ctxscope finding
+// below survives.
+func stillFlagged() context.Context {
+	return context.Background()
+}

@@ -1,0 +1,54 @@
+// Package detflowfix exercises the detflow taint pass: map-iteration
+// order and clock-seam values must not reach WAL-encoded record types,
+// and an explicit sort launders the taint.
+package detflowfix
+
+import (
+	"sort"
+	"time"
+)
+
+// ExportRecord mimics a WAL-encoded record: the Record suffix in a
+// store-scoped package marks its bytes as compared across replays.
+type ExportRecord struct {
+	Keys  []string
+	First string
+	Stamp string
+}
+
+// firstKey is order-dependent: which key comes first varies per run.
+func firstKey(m map[string]int) ExportRecord {
+	var first string
+	for k := range m {
+		first = k
+		break
+	}
+	return ExportRecord{First: first} // want "value derived from map iteration order flows into detflowfix.ExportRecord"
+}
+
+// sortedKeys launders the same iteration through sort.Strings: clean.
+func sortedKeys(m map[string]int) ExportRecord {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return ExportRecord{Keys: keys}
+}
+
+// stamped pulls the wall clock through the injected seam into record
+// bytes.
+func stamped(now func() time.Time) ExportRecord {
+	t := now()
+	return ExportRecord{Stamp: t.String()} // want "value derived from the clock seam flows into detflowfix.ExportRecord"
+}
+
+// overwrite taints a record through a field write instead of a
+// composite literal.
+func overwrite(m map[string]bool) ExportRecord {
+	var rec ExportRecord
+	for k := range m {
+		rec.First = k // want "value derived from map iteration order flows into detflowfix.ExportRecord"
+	}
+	return rec
+}

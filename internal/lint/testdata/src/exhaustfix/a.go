@@ -1,0 +1,62 @@
+// Package exhaustfix exercises the exhaustive analyzer over an
+// enum-like named type declared in a state-machine-scoped package: a
+// switch must cover every declared constant or carry a default that
+// does something.
+package exhaustfix
+
+// Phase is the fixture's lifecycle enum.
+type Phase string
+
+const (
+	PhaseDraft Phase = "draft"
+	PhaseOpen  Phase = "open"
+	PhaseDone  Phase = "done"
+)
+
+// describe covers every constant with no default: clean.
+func describe(p Phase) string {
+	switch p {
+	case PhaseDraft:
+		return "not yet visible"
+	case PhaseOpen:
+		return "accepting submissions"
+	case PhaseDone:
+		return "finished"
+	}
+	return "unknown"
+}
+
+// terminal covers one constant but its default acts: clean.
+func terminal(p Phase) bool {
+	switch p {
+	case PhaseDone:
+		return true
+	default:
+		return false
+	}
+}
+
+// missingCase drops PhaseDone on the floor with no default.
+func missingCase(p Phase) bool {
+	switch p { // want "switch over exhaustfix.Phase does not cover PhaseDone and has no default"
+	case PhaseDraft:
+		return false
+	case PhaseOpen:
+		return true
+	}
+	return false
+}
+
+// emptyDefault has a default, but it does nothing: the same silent
+// drop a missing case is.
+func emptyDefault(p Phase) string {
+	out := "unknown"
+	switch p {
+	case PhaseDraft:
+		out = "draft"
+	case PhaseOpen:
+		out = "open"
+	default: // want "switch over exhaustfix.Phase: empty default silently drops PhaseDone"
+	}
+	return out
+}

@@ -1,0 +1,73 @@
+// Package goroleakfix exercises the goroleak analyzer: every spawned
+// goroutine must reach a join or cancel point on all CFG paths.
+package goroleakfix
+
+import "sync"
+
+func work(n int) int { return n * 2 }
+
+var sink int
+
+// fireAndForget leaks: the goroutine runs to completion without ever
+// synchronizing with its spawner.
+func fireAndForget() {
+	go func() { // want "goroutine can run to completion without reaching a join or cancel point"
+		sink = work(1)
+	}()
+}
+
+// spinForever leaks differently: the goroutine never finishes, and
+// nothing can tell it to stop.
+func spinForever() {
+	go func() { // want "goroutine can loop forever without a cancellation point"
+		for {
+			sink = work(2)
+		}
+	}()
+}
+
+// detachedCallback spawns a body the analyzer cannot see; the spawn
+// site must carry the join protocol or an explicit allow.
+func detachedCallback(f func()) {
+	go f() // want "cannot see the spawned function's body"
+}
+
+// joined is the canonical clean shape: deferred WaitGroup Done covers
+// every path by construction.
+func joined(jobs []int) []int {
+	var wg sync.WaitGroup
+	out := make([]int, len(jobs))
+	for i, j := range jobs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[i] = work(j)
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// pumped loops forever but every iteration passes a channel op, and the
+// done branch is a cancellation point: clean.
+func pumped(done chan struct{}, jobs chan int) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case j := <-jobs:
+				sink = work(j)
+			}
+		}
+	}()
+}
+
+// closer signals completion by closing its channel: the deferred close
+// joins on every path.
+func closer(ch chan int) {
+	go func() {
+		defer close(ch)
+		ch <- work(3)
+	}()
+}

@@ -1,0 +1,61 @@
+// Package lockorderfix exercises the lockorder analyzer: two struct
+// mutexes acquired in both orders form a cycle, and a helper that
+// re-acquires a lock its caller holds is a self-deadlock — both found
+// interprocedurally through the call-graph summaries.
+package lockorderfix
+
+import "sync"
+
+type left struct {
+	mu sync.Mutex
+	n  int
+}
+
+type right struct {
+	mu sync.Mutex
+	n  int
+}
+
+type crossed struct {
+	l left
+	r right
+}
+
+// lockLeftThenRight establishes left.mu → right.mu.
+func (c *crossed) lockLeftThenRight() {
+	c.l.mu.Lock()
+	defer c.l.mu.Unlock()
+	c.r.mu.Lock() // want "potential deadlock: lock-order cycle sched.left.mu → sched.right.mu → sched.left.mu"
+	c.r.n++
+	c.r.mu.Unlock()
+}
+
+// lockRightThenLeft establishes the opposite order, closing the cycle.
+func (c *crossed) lockRightThenLeft() {
+	c.r.mu.Lock()
+	defer c.r.mu.Unlock()
+	c.l.mu.Lock()
+	c.l.n++
+	c.l.mu.Unlock()
+}
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// bump is safe alone; the finding lands on its acquisition because that
+// is where the second acquire happens when bumpTwice calls in.
+func (c *counter) bump() {
+	c.mu.Lock() // want "potential self-deadlock: sched.counter.mu acquired while already held"
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// bumpTwice re-enters bump while holding counter.mu: a guaranteed
+// deadlock the analyzer sees through the call edge.
+func (c *counter) bumpTwice() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bump()
+}

@@ -1,0 +1,39 @@
+package lockorderfix
+
+import "sync"
+
+// The outer/inner pair below uses one consistent order everywhere
+// (outer.mu before inner.mu), so it contributes edges but no cycle and
+// must produce no findings.
+
+type inner struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (in *inner) add(d int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.n += d
+}
+
+type outer struct {
+	mu sync.Mutex
+	in inner
+	n  int
+}
+
+func (o *outer) update(d int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.n += d
+	o.in.add(d)
+}
+
+func (o *outer) snapshot() (int, int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.in.mu.Lock()
+	defer o.in.mu.Unlock()
+	return o.n, o.in.n
+}

@@ -144,6 +144,10 @@ func (p *Platform) Settle(ctx context.Context, cfg Config) (*Report, error) {
 	case StateCancelled:
 		p.mu.Unlock()
 		return nil, imcerr.New(imcerr.CodeConflict, "platform: campaign is cancelled")
+	case StateOpen, StateClosing:
+		// Open proceeds to settle below. Closing cannot reach here: the
+		// wait loop above only exits once the state has left Closing,
+		// while p.mu has been held continuously since.
 	}
 	if len(p.subs) == 0 {
 		p.mu.Unlock()

@@ -59,27 +59,15 @@ func (s *State) Apply(ev Event) error {
 	if err := ev.validate(); err != nil {
 		return err
 	}
-	if ev.Type == EventCreated {
-		if s.Get(ev.Campaign) != nil {
-			return imcerr.New(imcerr.CodeConflict, "store: campaign %q created twice", ev.Campaign)
-		}
-		st := platform.StateOpen
-		if ev.Created.Draft {
-			st = platform.StateDraft
-		}
-		rec := &CampaignRecord{
-			ID:     ev.Campaign,
-			Name:   ev.Created.Name,
-			Tasks:  ev.Created.Tasks,
-			State:  st,
-			Config: ev.Created.Config,
-		}
-		if s.byID == nil {
-			s.byID = make(map[string]*CampaignRecord)
-		}
-		s.byID[ev.Campaign] = rec
-		s.ordered = append(s.ordered, rec)
-		return nil
+	// Every declared EventType MUST have a case here and the switch
+	// deliberately has no default: the exhaustive analyzer turns a new
+	// WAL event type without a fold case into a lint failure instead of
+	// a silent replay divergence. (validate has already rejected types
+	// outside the declared set.)
+	switch ev.Type {
+	case EventCreated:
+		return s.applyCreated(ev)
+	case EventOpened, EventSubmissions, EventCloseRequested, EventSettled, EventCancelled:
 	}
 
 	rec := s.Get(ev.Campaign)
@@ -96,6 +84,9 @@ func (s *State) Apply(ev Event) error {
 	// in StateClosing at the end of the log is a settle the process did
 	// not survive (or never resolved); recovery re-queues it.
 	switch ev.Type {
+	case EventCreated:
+		// Handled above; repeated here so this switch stays exhaustive
+		// without a default.
 	case EventOpened:
 		switch rec.State {
 		case platform.StateDraft, platform.StateClosing:
@@ -142,5 +133,30 @@ func (s *State) Apply(ev Event) error {
 			return imcerr.New(imcerr.CodeConflict, "store: cancelled event for %s campaign %q", rec.State, ev.Campaign)
 		}
 	}
+	return nil
+}
+
+// applyCreated folds a creation event: the one transition that mints a
+// record instead of mutating one.
+func (s *State) applyCreated(ev Event) error {
+	if s.Get(ev.Campaign) != nil {
+		return imcerr.New(imcerr.CodeConflict, "store: campaign %q created twice", ev.Campaign)
+	}
+	st := platform.StateOpen
+	if ev.Created.Draft {
+		st = platform.StateDraft
+	}
+	rec := &CampaignRecord{
+		ID:     ev.Campaign,
+		Name:   ev.Created.Name,
+		Tasks:  ev.Created.Tasks,
+		State:  st,
+		Config: ev.Created.Config,
+	}
+	if s.byID == nil {
+		s.byID = make(map[string]*CampaignRecord)
+	}
+	s.byID[ev.Campaign] = rec
+	s.ordered = append(s.ordered, rec)
 	return nil
 }

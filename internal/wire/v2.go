@@ -472,6 +472,9 @@ func (s *Server) handleCloseCampaign(w http.ResponseWriter, r *http.Request) {
 	case platform.StateDraft, platform.StateCancelled:
 		s.writeError(w, imcerr.New(imcerr.CodeConflict, "cannot close a %s campaign", st))
 		return
+	case platform.StateOpen:
+		// The only state a close can actually act on: fall through to
+		// start the settle below.
 	}
 	if c.Submissions() == 0 {
 		s.writeError(w, imcerr.New(imcerr.CodeInfeasible, "platform: no submissions"))
