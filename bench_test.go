@@ -136,6 +136,33 @@ func benchFig5Campaign(b *testing.B) *imc2.Campaign {
 	return c
 }
 
+// benchFig5Submissions assembles every worker's sealed envelope for the
+// fig5-scale campaign.
+func benchFig5Submissions(c *imc2.Campaign) []imc2.Submission {
+	ds := c.Dataset
+	subs := make([]imc2.Submission, ds.NumWorkers())
+	for i := range subs {
+		answers := make(map[string]string, len(ds.WorkerTasks(i)))
+		for _, j := range ds.WorkerTasks(i) {
+			answers[ds.Task(j).ID] = ds.ValueString(j, ds.ValueOf(i, j))
+		}
+		subs[i] = imc2.Submission{Worker: ds.WorkerID(i), Price: c.Costs[i], Answers: answers}
+	}
+	return subs
+}
+
+// benchSettleConfig is the shared settle shape of the fig5-scale
+// benches: GreedyBid stage 2 (so the number tracks truth discovery, not
+// the critical-payment search) and a low iteration cap (settle cost is
+// linear in iterations).
+func benchSettleConfig() imc2.PlatformConfig {
+	cfg := imc2.NewPlatformConfig(imc2.WithMechanism(imc2.MechanismGreedyBid))
+	cfg.TruthOptions.CopyProb = 0.8
+	cfg.TruthOptions.PriorDependence = 0.05
+	cfg.TruthOptions.MaxIterations = 3
+	return cfg
+}
+
 // benchDiscoverFig5 times DATE at fig5 scale under a fixed parallelism.
 // MaxIterations is pinned low because the engine's cost is linear in
 // iterations — three are enough to time the per-iteration passes without
@@ -177,18 +204,8 @@ func BenchmarkDiscoverParallel(b *testing.B) { benchDiscoverFig5(b, 0) }
 func benchSettleConcurrent(b *testing.B, settles int, instrumented bool) {
 	c := benchFig5Campaign(b)
 	ds := c.Dataset
-	subs := make([]imc2.Submission, ds.NumWorkers())
-	for i := range subs {
-		answers := make(map[string]string, len(ds.WorkerTasks(i)))
-		for _, j := range ds.WorkerTasks(i) {
-			answers[ds.Task(j).ID] = ds.ValueString(j, ds.ValueOf(i, j))
-		}
-		subs[i] = imc2.Submission{Worker: ds.WorkerID(i), Price: c.Costs[i], Answers: answers}
-	}
-	cfg := imc2.NewPlatformConfig(imc2.WithMechanism(imc2.MechanismGreedyBid))
-	cfg.TruthOptions.CopyProb = 0.8
-	cfg.TruthOptions.PriorDependence = 0.05
-	cfg.TruthOptions.MaxIterations = 3
+	subs := benchFig5Submissions(c)
+	cfg := benchSettleConfig()
 
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -259,6 +276,71 @@ func BenchmarkSettleConcurrentInstrumented(b *testing.B) {
 	b.Run("settles=4", func(b *testing.B) {
 		benchSettleConcurrent(b, 4, true)
 	})
+}
+
+// BenchmarkSettleWarmVsCold prices the incremental settler's claim at
+// fig5 scale: a campaign whose estimate was folded to convergence in
+// the background settles with strictly fewer close-time truth-discovery
+// iterations than an identical cold campaign — and the exact same
+// report. Close-time iterations are reported as cold-iters and
+// warm-iters; the warm settle's total minus the iterations already done
+// when it adopted the engine. CI runs this once per PR (-benchtime=1x)
+// and fails if warm is not strictly cheaper.
+func BenchmarkSettleWarmVsCold(b *testing.B) {
+	c := benchFig5Campaign(b)
+	subs := benchFig5Submissions(c)
+	cfg := benchSettleConfig()
+	tasks := c.Dataset.Tasks()
+
+	settle := func(warm bool) (*imc2.CampaignReport, int) {
+		b.StopTimer()
+		reg := imc2.NewCampaignRegistry()
+		camp, err := reg.Create("bench", tasks, cfg, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := range subs {
+			if err := camp.Submit(subs[i]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		preDone := 0
+		if warm {
+			// Background refinement, normally the incremental settler's
+			// cadence ticks: fold the estimate to convergence off the
+			// close path. Untimed — its whole point is to run before the
+			// close, not during it.
+			if _, err := camp.FoldEstimate(context.Background(), 0); err != nil {
+				b.Fatal(err)
+			}
+			preDone = camp.Estimate().Iterations
+		}
+		b.StartTimer()
+		rep, err := camp.Settle(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		return rep, rep.TruthIterations - preDone
+	}
+
+	var coldIters, warmIters int
+	for i := 0; i < b.N; i++ {
+		coldRep, cold := settle(false)
+		warmRep, warmN := settle(true)
+		coldIters, warmIters = cold, warmN
+		b.StopTimer()
+		if coldRep.TruthIterations != warmRep.TruthIterations {
+			b.Fatalf("warm settle's total iterations differ: cold %d, warm %d",
+				coldRep.TruthIterations, warmRep.TruthIterations)
+		}
+		if warmIters >= coldIters {
+			b.Fatalf("warm settle not cheaper at close: %d close-time iterations vs cold %d",
+				warmIters, coldIters)
+		}
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(coldIters), "cold-iters")
+	b.ReportMetric(float64(warmIters), "warm-iters")
 }
 
 // BenchmarkCampaignGeneration tracks the workload generator itself at the

@@ -9,6 +9,7 @@
 //	workeragent -platform http://127.0.0.1:8080 -close
 //	workeragent -platform http://127.0.0.1:8080 -list
 //	workeragent -platform http://127.0.0.1:8080 -stats
+//	workeragent -platform http://127.0.0.1:8080 -campaign cmp-… -estimate
 //	workeragent -platform http://127.0.0.1:8080 -campaign cmp-… -seed 43 -all -close
 //
 // With -close the agent settles the auction and prints the report,
@@ -54,6 +55,7 @@ func run(args []string, out io.Writer) error {
 		close_    = fs.Bool("close", false, "close the auction and print the report")
 		campaign  = fs.String("campaign", "", "target this /v2 campaign ID (empty: the /v1 default campaign)")
 		list      = fs.Bool("list", false, "list the platform's campaigns and exit")
+		estimate  = fs.Bool("estimate", false, "print the campaign's live truth estimate (requires -campaign) and exit")
 		showStats = fs.Bool("stats", false, "print the platform's unified stats snapshot (GET /v2/stats) and exit")
 		timeout   = fs.Duration("timeout", time.Minute, "request deadline")
 	)
@@ -73,6 +75,12 @@ func run(args []string, out io.Writer) error {
 	}
 	if *showStats {
 		return printStats(ctx, client, out)
+	}
+	if *estimate {
+		if *campaign == "" {
+			return fmt.Errorf("-estimate requires -campaign (see -list for IDs)")
+		}
+		return printEstimate(ctx, client, *campaign, out)
 	}
 
 	c, err := regenerate(*seed, *workers, *tasks, *copiers)
@@ -111,7 +119,7 @@ func run(args []string, out io.Writer) error {
 	case *close_:
 		// handled below
 	default:
-		return fmt.Errorf("nothing to do: pass -all, -index, -close, -list, or -stats")
+		return fmt.Errorf("nothing to do: pass -all, -index, -close, -list, -estimate, or -stats")
 	}
 
 	if *close_ {
@@ -181,6 +189,33 @@ func printStats(ctx context.Context, client *wire.Client, out io.Writer) error {
 		}
 	} else {
 		fmt.Fprintln(out, "store: in-memory only")
+	}
+	return nil
+}
+
+// printEstimate fetches and renders a campaign's live provisional truth
+// estimate. A fresh converged estimate (staleness 0) previews exactly
+// what the settled report's truth will say if the campaign closes now.
+func printEstimate(ctx context.Context, client *wire.Client, campaign string, out io.Writer) error {
+	est, err := client.CampaignEstimate(ctx, campaign)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "campaign %s estimate (%s): %d iterations, converged=%v\n",
+		est.CampaignID, est.Method, est.Iterations, est.Converged)
+	fmt.Fprintf(out, "covers %d submissions (%d stale), %d folds / %d rebuilds\n",
+		est.CoveredSubmissions, est.Staleness, est.Folds, est.Rebuilds)
+	if len(est.Truth) == 0 {
+		fmt.Fprintln(out, "no estimate yet (run platformd with -live-estimate, or wait for the first fold)")
+		return nil
+	}
+	tasks := make([]string, 0, len(est.Truth))
+	for id := range est.Truth {
+		tasks = append(tasks, id)
+	}
+	sort.Strings(tasks)
+	for _, id := range tasks {
+		fmt.Fprintf(out, "  %s = %s\n", id, est.Truth[id])
 	}
 	return nil
 }

@@ -1,0 +1,307 @@
+package platform
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"imc2/internal/gen"
+	"imc2/internal/imcerr"
+	"imc2/internal/randx"
+	"imc2/internal/truth"
+)
+
+// genSubmissions renders a generated campaign as a deterministic
+// submission stream (worker-index order — the acceptance order every
+// test below replays identically).
+func genSubmissions(t *testing.T, seed int64) []Submission {
+	t.Helper()
+	spec := gen.DefaultSpec()
+	spec.Workers = 24
+	spec.Tasks = 20
+	spec.Copiers = 6
+	spec.TasksPerWorker = 12
+	spec.RequirementLow, spec.RequirementHigh = 0.5, 1
+	spec.ParticipationDecay = 0.3
+	c, err := gen.NewCampaign(spec, randx.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := c.Dataset
+	subs := make([]Submission, 0, ds.NumWorkers())
+	for i := 0; i < ds.NumWorkers(); i++ {
+		answers := make(map[string]string)
+		for _, j := range ds.WorkerTasks(i) {
+			answers[ds.Task(j).ID] = ds.ValueString(j, ds.ValueOf(i, j))
+		}
+		subs = append(subs, Submission{Worker: ds.WorkerID(i), Price: c.Costs[i], Answers: answers})
+	}
+	return subs
+}
+
+// newPlatformWith builds an open platform holding the first k of subs.
+func newPlatformWith(t *testing.T, seed int64, subs []Submission, k int) *Platform {
+	t.Helper()
+	spec := gen.DefaultSpec()
+	spec.Workers = 24
+	spec.Tasks = 20
+	spec.Copiers = 6
+	spec.TasksPerWorker = 12
+	spec.RequirementLow, spec.RequirementHigh = 0.5, 1
+	spec.ParticipationDecay = 0.3
+	c, err := gen.NewCampaign(spec, randx.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(c.Dataset.Tasks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sub := range subs[:k] {
+		if err := p.Submit(sub); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return p
+}
+
+// reportBytes canonicalizes a report for byte-identity comparison
+// (JSON marshals map keys sorted, so equal reports yield equal bytes
+// and differing float bit patterns yield differing bytes).
+func reportBytes(t *testing.T, rep *Report) []byte {
+	t.Helper()
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestWarmSettleByteIdenticalToCold is the PR's acceptance invariant: a
+// campaign whose estimate was folded forward in the background and then
+// settled warm must produce a report byte-identical to a cold settle of
+// the same dataset — at every parallelism degree. (CI runs the package
+// under -race, covering the concurrent variant.)
+func TestWarmSettleByteIdenticalToCold(t *testing.T) {
+	const seed = 11
+	subs := genSubmissions(t, seed)
+	for _, par := range []int{1, 2, 0} {
+		cfg := DefaultConfig()
+		cfg.TruthOptions.Parallelism = par
+
+		// Cold baseline: all submissions, straight settle.
+		cold := newPlatformWith(t, seed, subs, len(subs))
+		coldRep, err := cold.Settle(context.Background(), cfg)
+		if err != nil {
+			t.Fatalf("par=%d cold settle: %v", par, err)
+		}
+
+		// Warm: submissions arrive in two waves with background folds
+		// between them, then the close adopts the estimator's engine.
+		warm := newPlatformWith(t, seed, subs, len(subs)/2)
+		est := NewEstimator(warm, cfg)
+		if _, err := est.Fold(context.Background(), 2); err != nil {
+			t.Fatalf("par=%d fold: %v", par, err)
+		}
+		for _, sub := range subs[len(subs)/2:] {
+			if err := warm.Submit(sub); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Fold the full prefix partway: the close must finish the rest.
+		if _, err := est.Fold(context.Background(), 1); err != nil {
+			t.Fatalf("par=%d fold: %v", par, err)
+		}
+		snap := est.Snapshot()
+		if snap.Covered != len(subs) || snap.Staleness != 0 {
+			t.Fatalf("par=%d snapshot covered=%d staleness=%d, want %d/0",
+				par, snap.Covered, snap.Staleness, len(subs))
+		}
+		warmCfg := cfg
+		warmCfg.WarmStart = est.WarmStart
+		warmRep, err := warm.Settle(context.Background(), warmCfg)
+		if err != nil {
+			t.Fatalf("par=%d warm settle: %v", par, err)
+		}
+
+		if !reflect.DeepEqual(coldRep, warmRep) {
+			t.Fatalf("par=%d: warm report differs from cold", par)
+		}
+		cb, wb := reportBytes(t, coldRep), reportBytes(t, warmRep)
+		if string(cb) != string(wb) {
+			t.Fatalf("par=%d: serialized reports differ\ncold: %s\nwarm: %s", par, cb, wb)
+		}
+		// The warm engine was really adopted: the settle resumed it
+		// rather than recomputing its iterations, so the estimator is
+		// now empty.
+		if after := est.Snapshot(); after.Covered != 0 {
+			t.Fatalf("par=%d: engine not handed off (covered=%d)", par, after.Covered)
+		}
+	}
+}
+
+// TestEstimatePrefixFoldEqualsColdDiscover is the replay-equivalence
+// property: for any submission-stream prefix, the incrementally folded
+// estimate — arbitrary fold budgets, arbitrary arrival batching — once
+// converged equals a cold Discover over exactly that prefix, value for
+// value and bit for bit on the worker weights.
+func TestEstimatePrefixFoldEqualsColdDiscover(t *testing.T) {
+	const seed = 23
+	subs := genSubmissions(t, seed)
+	rng := rand.New(rand.NewSource(77))
+	for _, method := range []truth.Method{truth.MethodDATE, truth.MethodNC, truth.MethodMV} {
+		cfg := DefaultConfig()
+		cfg.TruthMethod = method
+
+		p := newPlatformWith(t, seed, subs, 0)
+		est := NewEstimator(p, cfg)
+		next := 0
+		for next < len(subs) {
+			// A random batch of arrivals…
+			batch := 1 + rng.Intn(6)
+			for ; batch > 0 && next < len(subs); batch-- {
+				if err := p.Submit(subs[next]); err != nil {
+					t.Fatal(err)
+				}
+				next++
+			}
+			// …then a few bounded folds, and occasionally one to
+			// convergence so some prefixes are compared mid-stream.
+			if _, err := est.Fold(context.Background(), 1+rng.Intn(3)); err != nil {
+				t.Fatalf("%v fold: %v", method, err)
+			}
+			if rng.Intn(2) == 0 {
+				continue
+			}
+			if _, err := est.Fold(context.Background(), 0); err != nil {
+				t.Fatalf("%v fold: %v", method, err)
+			}
+			snap := est.Snapshot()
+
+			ds, err := assembleSubs(p.tasks, subs[:next])
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := truth.Discover(ds, method, cfg.TruthOptions)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if snap.Staleness != 0 || snap.Covered != next {
+				t.Fatalf("%v prefix %d: covered=%d staleness=%d", method, next, snap.Covered, snap.Staleness)
+			}
+			if snap.Converged != res.Converged || snap.Iterations != res.Iterations {
+				t.Fatalf("%v prefix %d: progress (%d, %v) vs cold (%d, %v)",
+					method, next, snap.Iterations, snap.Converged, res.Iterations, res.Converged)
+			}
+			if !reflect.DeepEqual(snap.Truth, res.TruthMap(ds)) {
+				t.Fatalf("%v prefix %d: provisional truth diverges from cold Discover", method, next)
+			}
+			wantAcc := make(map[string]float64, ds.NumWorkers())
+			for i, a := range res.WorkerAccuracy(ds) {
+				wantAcc[ds.WorkerID(i)] = a
+			}
+			if !reflect.DeepEqual(snap.WorkerAccuracy, wantAcc) {
+				t.Fatalf("%v prefix %d: provisional weights diverge from cold Discover", method, next)
+			}
+		}
+	}
+}
+
+// TestWarmStartStaleEstimateFallsBackCold: if submissions arrived after
+// the last fold, the seam must refuse the hand-off and the settle runs
+// cold — still byte-identical to the baseline.
+func TestWarmStartStaleEstimateFallsBackCold(t *testing.T) {
+	const seed = 31
+	subs := genSubmissions(t, seed)
+	cfg := DefaultConfig()
+
+	cold := newPlatformWith(t, seed, subs, len(subs))
+	coldRep, err := cold.Settle(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p := newPlatformWith(t, seed, subs, len(subs)-1)
+	est := NewEstimator(p, cfg)
+	if _, err := est.Fold(context.Background(), 0); err != nil {
+		t.Fatal(err)
+	}
+	// One more submission the estimate does not cover.
+	if err := p.Submit(subs[len(subs)-1]); err != nil {
+		t.Fatal(err)
+	}
+	if snap := est.Snapshot(); snap.Staleness != 1 {
+		t.Fatalf("staleness = %d, want 1", snap.Staleness)
+	}
+	if eng := est.WarmStart(p.Submissions()); eng != nil {
+		t.Fatal("stale estimate handed off")
+	}
+	warmCfg := cfg
+	warmCfg.WarmStart = est.WarmStart
+	rep, err := p.Settle(context.Background(), warmCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(reportBytes(t, rep)) != string(reportBytes(t, coldRep)) {
+		t.Fatal("stale-fallback report differs from cold baseline")
+	}
+}
+
+// TestEstimatorFoldOnlyWhileOpen: folds no-op on drafts and settled
+// campaigns, and an empty campaign folds to nothing.
+func TestEstimatorFoldOnlyWhileOpen(t *testing.T) {
+	const seed = 7
+	subs := genSubmissions(t, seed)
+	cfg := DefaultConfig()
+	p := newPlatformWith(t, seed, subs, len(subs))
+	est := NewEstimator(p, cfg)
+
+	empty := newPlatformWith(t, seed, subs, 0)
+	estEmpty := NewEstimator(empty, cfg)
+	if prog, err := estEmpty.Fold(context.Background(), 0); err != nil || prog.Folded {
+		t.Fatalf("empty fold = (%+v, %v), want no-op", prog, err)
+	}
+
+	if _, err := p.Settle(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	if prog, err := est.Fold(context.Background(), 0); err != nil || prog.Folded {
+		t.Fatalf("settled fold = (%+v, %v), want no-op", prog, err)
+	}
+}
+
+// queueFullAdmission rejects every acquire with the scheduler's
+// backpressure classification.
+type queueFullAdmission struct{}
+
+func (queueFullAdmission) Acquire(context.Context, string) (func(), error) {
+	return nil, imcerr.New(imcerr.CodeUnavailable, "test: queue full")
+}
+
+// TestEstimatorFoldSkippedUnderBackpressure: a backpressure rejection
+// from the shared scheduler skips the fold without error, and the
+// admission key is derived from the settle key.
+func TestEstimatorFoldSkippedUnderBackpressure(t *testing.T) {
+	const seed = 7
+	subs := genSubmissions(t, seed)
+	cfg := DefaultConfig()
+	cfg.Admission = queueFullAdmission{}
+	cfg.SettleKey = "cmp-test"
+	p := newPlatformWith(t, seed, subs, len(subs))
+	est := NewEstimator(p, cfg)
+	if est.key != "cmp-test#estimate" {
+		t.Fatalf("admission key = %q", est.key)
+	}
+	prog, err := est.Fold(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prog.Skipped || prog.Folded {
+		t.Fatalf("prog = %+v, want skipped", prog)
+	}
+	if snap := est.Snapshot(); snap.Covered != 0 {
+		t.Fatalf("skipped fold still covered %d submissions", snap.Covered)
+	}
+}

@@ -1,0 +1,104 @@
+package registry
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"imc2/internal/platform"
+)
+
+// SettlerConfig parameterizes the background incremental settler.
+type SettlerConfig struct {
+	// Cadence is how often open campaigns are folded forward. Zero or
+	// negative means the 2s default. The cadence trades estimate
+	// freshness against background CPU; folds are batched per tick and
+	// never run on the submit hot path.
+	Cadence time.Duration
+	// Budget bounds the truth-discovery iterations one campaign may
+	// execute per tick. Zero or negative runs each fold to convergence —
+	// cheapest totals, but a tick can then monopolize a scheduler slot
+	// for a whole cold run; small budgets (the flag default is 2) keep
+	// ticks short and slots fair.
+	Budget int
+}
+
+// cadence resolves the effective tick interval.
+func (c SettlerConfig) cadence() time.Duration {
+	if c.Cadence <= 0 {
+		return 2 * time.Second
+	}
+	return c.Cadence
+}
+
+// IncrementalSettler folds every open campaign's live estimate forward
+// on a fixed cadence, so close-time settles start warm (see
+// platform.Estimator and Campaign.FoldEstimate). Each tick walks the
+// registry in creation order and advances each open campaign by the
+// configured budget; folds acquire slots from the registry's settle
+// scheduler, so `-max-settles` bounds background refinement and real
+// settles together, and backpressure rejections simply skip to the next
+// tick. Construct with Registry.StartIncrementalSettler, stop with
+// Stop.
+type IncrementalSettler struct {
+	r   *Registry
+	cfg SettlerConfig
+
+	stopOnce sync.Once
+	done     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// StartIncrementalSettler launches the background settler. ctx bounds
+// every fold's wait for a scheduler slot and stops the settler when
+// cancelled; Stop stops it explicitly and waits for the loop to exit.
+func (r *Registry) StartIncrementalSettler(ctx context.Context, cfg SettlerConfig) *IncrementalSettler {
+	s := &IncrementalSettler{r: r, cfg: cfg, done: make(chan struct{})}
+	s.wg.Add(1)
+	go s.run(ctx)
+	return s
+}
+
+// Stop halts the settler and waits for any in-flight tick to finish.
+// Safe to call more than once.
+func (s *IncrementalSettler) Stop() {
+	s.stopOnce.Do(func() { close(s.done) })
+	s.wg.Wait()
+}
+
+func (s *IncrementalSettler) run(ctx context.Context) {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.cfg.cadence())
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			s.tick(ctx)
+		}
+	}
+}
+
+// tick folds every open campaign once, in creation order. Fold outcomes
+// land in the imc2_truth_incremental_* metrics via FoldEstimate; an
+// individual campaign's failure (e.g. an abandoned slot wait at
+// shutdown) never stops the sweep for its neighbours.
+func (s *IncrementalSettler) tick(ctx context.Context) {
+	campaigns, _ := s.r.List(0, 0)
+	for _, c := range campaigns {
+		select {
+		case <-s.done:
+			return
+		case <-ctx.Done():
+			return
+		default:
+		}
+		if c.State() != platform.StateOpen {
+			continue
+		}
+		_, _ = c.FoldEstimate(ctx, s.cfg.Budget)
+	}
+}

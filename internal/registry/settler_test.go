@@ -1,0 +1,178 @@
+package registry
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"imc2/internal/obs"
+	"imc2/internal/platform"
+	"imc2/internal/sched"
+)
+
+// exposition renders o's metrics as Prometheus text.
+func exposition(t *testing.T, o *obs.Registry) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := o.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+// seedOpenCampaign creates a campaign on r and submits the full
+// generated workload.
+func seedOpenCampaign(t *testing.T, r *Registry, seed int64) *Campaign {
+	t.Helper()
+	w := testWorkload(t, seed)
+	c, err := r.Create("live", w.Dataset.Tasks(), platform.DefaultConfig(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < w.Dataset.NumWorkers(); i++ {
+		if err := c.Submit(submissionFor(w, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+// TestWarmCloseThroughRegistryByteIdentical drives the full registry
+// path: background folds through the campaign's scheduler, then a
+// close whose settle adopts the warm engine — and the settled report
+// must be byte-identical to an untouched campaign's cold settle, with
+// the scheduler wired in both cases.
+func TestWarmCloseThroughRegistryByteIdentical(t *testing.T) {
+	const seed = 17
+	mkReg := func() (*Registry, *obs.Registry) {
+		o := obs.NewRegistry()
+		s := sched.New(sched.Config{MaxConcurrentSettles: 2})
+		return New(WithOwnedScheduler(s), WithObservability(o)), o
+	}
+
+	coldReg, _ := mkReg()
+	defer coldReg.Close()
+	cold := seedOpenCampaign(t, coldReg, seed)
+	coldRep, err := cold.Settle(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	warmReg, o := mkReg()
+	defer warmReg.Close()
+	warm := seedOpenCampaign(t, warmReg, seed)
+	// Background refinement in installments, like the settler would.
+	for {
+		prog, err := warm.FoldEstimate(context.Background(), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prog.Converged || !prog.Folded {
+			break
+		}
+	}
+	snap := warm.Estimate()
+	if snap.Staleness != 0 || !snap.Converged {
+		t.Fatalf("estimate not ready: %+v", snap)
+	}
+	warmRep, err := warm.Settle(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(coldRep, warmRep) {
+		t.Fatal("warm registry settle differs from cold")
+	}
+	cb, _ := json.Marshal(coldRep)
+	wb, _ := json.Marshal(warmRep)
+	if string(cb) != string(wb) {
+		t.Fatalf("serialized reports differ\ncold: %s\nwarm: %s", cb, wb)
+	}
+
+	// The hand-off happened and was counted.
+	text := exposition(t, o)
+	for _, want := range []string{
+		"imc2_truth_incremental_warm_starts_total 1",
+		"imc2_truth_incremental_folds_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestEstimateNeverFolded: a campaign that was never folded reports an
+// empty estimate whose staleness counts every accepted submission.
+func TestEstimateNeverFolded(t *testing.T) {
+	r := New()
+	c := seedOpenCampaign(t, r, 3)
+	snap := c.Estimate()
+	if snap.Covered != 0 || snap.Staleness != c.Submissions() {
+		t.Fatalf("snapshot = %+v, want covered 0 / staleness %d", snap, c.Submissions())
+	}
+	if snap.Truth != nil || snap.Converged {
+		t.Fatalf("never-folded snapshot carries an estimate: %+v", snap)
+	}
+}
+
+// TestIncrementalSettlerConvergesOpenCampaigns runs the background
+// settler against a live registry until the campaign's estimate is
+// converged and fresh, then stops it and verifies the close is warm.
+func TestIncrementalSettlerConvergesOpenCampaigns(t *testing.T) {
+	o := obs.NewRegistry()
+	s := sched.New(sched.Config{MaxConcurrentSettles: 1})
+	r := New(WithOwnedScheduler(s), WithObservability(o))
+	defer r.Close()
+	c := seedOpenCampaign(t, r, 9)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	settler := r.StartIncrementalSettler(ctx, SettlerConfig{Cadence: time.Millisecond, Budget: 2})
+	defer settler.Stop()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		snap := c.Estimate()
+		if snap.Converged && snap.Staleness == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("settler never converged the estimate: %+v", snap)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	settler.Stop() // idempotent; also joins before we assert below
+
+	rep, err := c.Settle(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep == nil || !rep.Converged {
+		t.Fatalf("settled report = %+v", rep)
+	}
+	if !strings.Contains(exposition(t, o), "imc2_truth_incremental_warm_starts_total 1") {
+		t.Error("warm start not counted after settler-driven close")
+	}
+}
+
+// TestIncrementalSettlerStopsOnContextCancel: cancelling the start
+// context halts the loop; Stop still returns promptly afterwards.
+func TestIncrementalSettlerStopsOnContextCancel(t *testing.T) {
+	r := New()
+	ctx, cancel := context.WithCancel(context.Background())
+	settler := r.StartIncrementalSettler(ctx, SettlerConfig{Cadence: time.Millisecond})
+	cancel()
+	done := make(chan struct{})
+	go func() {
+		settler.Stop()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop did not return after context cancel")
+	}
+}

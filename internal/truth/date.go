@@ -1,7 +1,6 @@
 package truth
 
 import (
-	"fmt"
 	"math"
 	"time"
 
@@ -10,36 +9,17 @@ import (
 )
 
 // Discover runs the selected truth-discovery method over the dataset.
+// It is the one-shot form of NewEngine + Run: a resumable Engine driven
+// to completion in a single call.
 //
 // The returned Result is self-contained; the dataset is not retained.
 func Discover(ds *model.Dataset, method Method, opt Options) (*Result, error) {
-	if ds == nil {
-		return nil, fmt.Errorf("truth: nil dataset")
-	}
-	if err := opt.Validate(); err != nil {
+	e, err := NewEngine(ds, method, opt)
+	if err != nil {
 		return nil, err
 	}
-	fm := opt.falseModelOrUniform()
-	seen := make(map[int]bool)
-	for j := 0; j < ds.NumTasks(); j++ {
-		nf := ds.Task(j).NumFalse
-		if !seen[nf] {
-			seen[nf] = true
-			if err := validateFalseModel(fm, nf); err != nil {
-				return nil, err
-			}
-		}
-	}
-	switch method {
-	case MethodMV:
-		return majorityVote(ds), nil
-	case MethodNC:
-		return runNC(ds, opt, fm), nil
-	case MethodDATE, MethodED:
-		return runDATE(ds, opt, fm, method), nil
-	default:
-		return nil, fmt.Errorf("truth: unknown method %v", method)
-	}
+	e.Run(0)
+	return e.Result(), nil
 }
 
 // state carries one run's working data.
@@ -131,93 +111,6 @@ func newState(ds *model.Dataset, opt Options, fm FalseValueModel) *state {
 	return s
 }
 
-// runDATE executes Algorithm 1. MethodED swaps step 2's greedy ordering
-// for enumerated/sampled ordering averaging.
-func runDATE(ds *model.Dataset, opt Options, fm FalseValueModel, method Method) *Result {
-	s := newState(ds, opt, fm)
-	s.dep = newFilledMatrix(s.n, s.n, opt.PriorDependence)
-	s.totalDep = make([]float64, s.n)
-
-	prev := make([]int32, s.m)
-	iterations, converged := 0, false
-	for k := 0; k < opt.MaxIterations; k++ {
-		iterations = k + 1
-		copy(prev, s.truth)
-
-		if opt.Trace == nil {
-			s.computeDependence()                     // step 1: eq. 7–15
-			s.computeIndependence(method == MethodED) // step 2: eq. 16
-			s.estimate()                              // step 3: eq. 17–21
-			if equalTruth(prev, s.truth) {
-				converged = true
-				break
-			}
-			continue
-		}
-
-		var it IterationStats
-		it.Iteration = iterations
-		it.DependenceSeconds = timePass(s.computeDependence)
-		it.IndependenceSeconds = timePass(func() { s.computeIndependence(method == MethodED) })
-		it.EstimateSeconds = timePass(s.estimate)
-		it.Changed = countChanged(prev, s.truth)
-		it.Converged = it.Changed == 0
-		opt.Trace.ObserveIteration(it)
-		if it.Converged {
-			converged = true
-			break
-		}
-	}
-	return &Result{
-		Truth:        s.truth,
-		Accuracy:     s.acc,
-		Independence: s.indep,
-		Dependence:   s.dep,
-		Iterations:   iterations,
-		Converged:    converged,
-		Method:       method,
-	}
-}
-
-// runNC executes only step 3 iteratively, assuming worker independence.
-func runNC(ds *model.Dataset, opt Options, fm FalseValueModel) *Result {
-	s := newState(ds, opt, fm)
-	prev := make([]int32, s.m)
-	iterations, converged := 0, false
-	for k := 0; k < opt.MaxIterations; k++ {
-		iterations = k + 1
-		copy(prev, s.truth)
-
-		if opt.Trace == nil {
-			s.estimate()
-			if equalTruth(prev, s.truth) {
-				converged = true
-				break
-			}
-			continue
-		}
-
-		var it IterationStats
-		it.Iteration = iterations
-		it.EstimateSeconds = timePass(s.estimate)
-		it.Changed = countChanged(prev, s.truth)
-		it.Converged = it.Changed == 0
-		opt.Trace.ObserveIteration(it)
-		if it.Converged {
-			converged = true
-			break
-		}
-	}
-	return &Result{
-		Truth:        s.truth,
-		Accuracy:     s.acc,
-		Independence: s.indep,
-		Iterations:   iterations,
-		Converged:    converged,
-		Method:       MethodNC,
-	}
-}
-
 // timePass runs one pass under a wall clock; only traced runs call it.
 // The readings feed IterationStats telemetry, never the report — truth
 // values, weights, and payments stay clock-independent.
@@ -225,15 +118,6 @@ func timePass(fn func()) float64 {
 	start := time.Now() //lint:allow determinism trace-only telemetry; never feeds the report
 	fn()
 	return time.Since(start).Seconds() //lint:allow determinism trace-only telemetry; never feeds the report
-}
-
-func equalTruth(a, b []int32) bool {
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
 }
 
 // clampAcc keeps an accuracy strictly interior for the log-odds weights.

@@ -73,8 +73,8 @@ func MultiTrace(traces ...Trace) Trace {
 }
 
 // countChanged returns the number of positions where a and b differ —
-// the traced variant of equalTruth, paying a full scan only when a
-// Trace is installed.
+// the engine's single convergence predicate: an iteration converges iff
+// countChanged(prev, truth) == 0, traced or not.
 func countChanged(a, b []int32) int {
 	n := 0
 	for i := range a {

@@ -84,8 +84,10 @@ type APIError struct {
 	Code    string
 	Message string
 	// RetryAfter is the server's backoff hint from a Retry-After header
-	// (zero when the response carried none). Backpressure rejections
-	// (503 with code "unavailable") always carry one.
+	// (zero when the response carried none). Both RFC 9110 forms are
+	// honored: delta-seconds and HTTP-date (converted to the duration
+	// remaining, clamped at zero). Backpressure rejections (503 with
+	// code "unavailable") always carry one.
 	RetryAfter time.Duration
 }
 
@@ -133,9 +135,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		}
 		apiErr := &APIError{Status: resp.StatusCode, Code: eb.Code, Message: msg}
 		if ra := resp.Header.Get("Retry-After"); ra != "" {
-			if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
-				apiErr.RetryAfter = time.Duration(secs) * time.Second
-			}
+			apiErr.RetryAfter = parseRetryAfter(ra, time.Now())
 		}
 		return apiErr
 	}
@@ -145,4 +145,28 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		}
 	}
 	return nil
+}
+
+// parseRetryAfter interprets a Retry-After header value, which RFC 9110
+// §10.2.3 allows in two forms: a non-negative decimal second count, or
+// an HTTP-date after which the client may retry. A date is converted to
+// the duration remaining from now, clamped at zero (a date already in
+// the past means "retry immediately", not "never"). Unparseable or
+// negative values yield zero, leaving the caller's default backoff in
+// charge.
+func parseRetryAfter(ra string, now time.Time) time.Duration {
+	if secs, err := strconv.Atoi(ra); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	t, err := http.ParseTime(ra)
+	if err != nil {
+		return 0
+	}
+	if d := t.Sub(now); d > 0 {
+		return d
+	}
+	return 0
 }

@@ -1,0 +1,137 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"imc2/internal/imcerr"
+)
+
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2024, 6, 1, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		name string
+		ra   string
+		want time.Duration
+	}{
+		{"delta seconds", "7", 7 * time.Second},
+		{"zero seconds", "0", 0},
+		{"negative seconds", "-3", 0},
+		{"http date ahead", now.Add(90 * time.Second).Format(http.TimeFormat), 90 * time.Second},
+		{"http date in the past", now.Add(-time.Minute).Format(http.TimeFormat), 0},
+		{"rfc 850 date", now.Add(30 * time.Second).Format("Monday, 02-Jan-06 15:04:05 GMT"), 30 * time.Second},
+		{"garbage", "soon", 0},
+		{"empty", "", 0},
+	}
+	for _, tc := range cases {
+		if got := parseRetryAfter(tc.ra, now); got != tc.want {
+			t.Errorf("%s: parseRetryAfter(%q) = %v, want %v", tc.name, tc.ra, got, tc.want)
+		}
+	}
+}
+
+// TestRetryAfterHTTPDate is the regression for the client dropping
+// HTTP-date Retry-After values (RFC 9110 allows both forms; only
+// delta-seconds used to parse, leaving RetryAfter zero).
+func TestRetryAfterHTTPDate(t *testing.T) {
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", time.Now().Add(30*time.Second).UTC().Format(http.TimeFormat))
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer hs.Close()
+
+	_, err := NewClient(hs.URL).Tasks(context.Background())
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("err = %v, want *APIError", err)
+	}
+	if apiErr.RetryAfter <= 0 || apiErr.RetryAfter > 30*time.Second {
+		t.Fatalf("RetryAfter = %v, want in (0s, 30s]", apiErr.RetryAfter)
+	}
+}
+
+// TestV2EstimateEndpoint drives the live-estimate surface end to end:
+// an open campaign starts with an empty, fully stale estimate; after a
+// background fold the estimate is converged and fresh, and its truth
+// previews the settled report exactly; after the close the engine has
+// been handed to the settle, so the estimate is empty again.
+func TestV2EstimateEndpoint(t *testing.T) {
+	client, srv := startRegistry(t)
+	ctx := context.Background()
+	w := testWorkload(t, 23)
+
+	info, err := client.CreateCampaign(ctx, CreateCampaignRequest{Name: "live", Tasks: w.Dataset.Tasks()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs := make([]Submission, 0, w.Dataset.NumWorkers())
+	for i := 0; i < w.Dataset.NumWorkers(); i++ {
+		subs = append(subs, submissionFor(w, i))
+	}
+	if _, err := client.SubmitBatch(ctx, info.ID, subs); err != nil {
+		t.Fatal(err)
+	}
+
+	est, err := client.CampaignEstimate(ctx, info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.CampaignID != info.ID || est.CoveredSubmissions != 0 || est.Staleness != len(subs) {
+		t.Fatalf("never-folded estimate = %+v", est)
+	}
+	if len(est.Truth) != 0 || est.Converged {
+		t.Fatalf("never-folded estimate carries truth: %+v", est)
+	}
+
+	// Fold to convergence the way the incremental settler would.
+	c, err := srv.reg.Get(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.FoldEstimate(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	est, err = client.CampaignEstimate(ctx, info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !est.Converged || est.Staleness != 0 || est.CoveredSubmissions != len(subs) {
+		t.Fatalf("folded estimate not fresh: %+v", est)
+	}
+	if len(est.Truth) == 0 || est.Folds == 0 || est.Method != "DATE" {
+		t.Fatalf("folded estimate = %+v", est)
+	}
+
+	if _, err := client.CloseCampaign(ctx, info.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.AwaitSettled(ctx, info.ID, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	report, err := client.CampaignReport(ctx, info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fresh converged estimate previewed the settled truth exactly.
+	if !reflect.DeepEqual(est.Truth, report.Truth) {
+		t.Fatalf("estimate truth != report truth\nest: %v\nrep: %v", est.Truth, report.Truth)
+	}
+
+	est, err = client.CampaignEstimate(ctx, info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.CoveredSubmissions != 0 || len(est.Truth) != 0 {
+		t.Fatalf("estimate survived the warm hand-off: %+v", est)
+	}
+
+	if _, err := client.CampaignEstimate(ctx, "cmp-missing"); !errors.Is(err, imcerr.ErrNotFound) {
+		t.Fatalf("missing campaign estimate: err = %v, want not found", err)
+	}
+}

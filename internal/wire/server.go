@@ -17,6 +17,7 @@
 //	POST /v2/campaigns/{id}/close        begin async settle (poll the snapshot)
 //	GET  /v2/campaigns/{id}/report       settled report
 //	GET  /v2/campaigns/{id}/audit        copier audit of a settled campaign
+//	GET  /v2/campaigns/{id}/estimate     live provisional truth estimate
 //	GET  /v2/stats                       unified platform stats (scheduler, store, registry)
 //	GET  /v2/scheduler                   settle-scheduler stats (admission, queue)
 //	GET  /v2/store                       durable-store stats (WAL, snapshots, recovery)
@@ -220,6 +221,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v2/campaigns/{id}/close", s.handleCloseCampaign)
 	mux.HandleFunc("GET /v2/campaigns/{id}/report", s.handleCampaignReport)
 	mux.HandleFunc("GET /v2/campaigns/{id}/audit", s.handleCampaignAudit)
+	mux.HandleFunc("GET /v2/campaigns/{id}/estimate", s.handleCampaignEstimate)
 	mux.HandleFunc("GET /v2/stats", s.handleStats)
 	mux.HandleFunc("GET /v2/scheduler", s.handleSchedulerStats)
 	mux.HandleFunc("GET /v2/store", s.handleStoreStats)
