@@ -42,11 +42,22 @@
 // -pprof additionally mounts net/http/pprof on that listener. Logs are
 // structured (log/slog); -log-format selects text or json.
 //
+// With -trace the daemon records distributed-tracing spans: every
+// request gets a root span (adopting an inbound W3C traceparent when
+// present), and a close's settle carries one trace through admission
+// wait, truth-discovery iterations, the auction, and the store's
+// fsyncs. A fixed -trace-buffer flight recorder keeps recent traces
+// plus every error trace and the slowest settles at or above
+// -trace-slow-ms, served on GET /v2/traces and /v2/traces/{id}
+// (pretty-print with workeragent -trace <id>). Reports are
+// bit-identical traced or not.
+//
 // Usage:
 //
 //	platformd -addr :8080 -seed 42 -workers 40 -tasks 60 -campaigns 3 -max-settles 2
 //	platformd -addr :8080 -data-dir /var/lib/imc2 -snapshot-every 256 -fsync settle
 //	platformd -addr :8080 -metrics-addr 127.0.0.1:9090 -pprof -log-format json
+//	platformd -addr :8080 -trace -trace-buffer 512 -trace-slow-ms 250
 package main
 
 import (
@@ -68,6 +79,7 @@ import (
 	"imc2/internal/registry"
 	"imc2/internal/sched"
 	"imc2/internal/store"
+	"imc2/internal/tracing"
 	"imc2/internal/wire"
 )
 
@@ -107,6 +119,10 @@ func run(args []string) error {
 		metricsAddr = fs.String("metrics-addr", "", "serve Prometheus text on GET /metrics at this address (empty = metrics disabled)")
 		pprofOn     = fs.Bool("pprof", false, "also mount net/http/pprof under /debug/pprof/ on the -metrics-addr listener")
 		logFormat   = fs.String("log-format", "text", "structured log format: text or json")
+
+		traceOn     = fs.Bool("trace", false, "record request/settle spans in an in-memory flight recorder (GET /v2/traces)")
+		traceBuffer = fs.Int("trace-buffer", 256, "recent traces kept by the flight recorder (with -trace)")
+		traceSlowMS = fs.Int("trace-slow-ms", 500, "settles at or above this duration compete for the slow-trace retention pool (with -trace)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -135,6 +151,12 @@ func run(args []string) error {
 	}
 	if *pprofOn && *metricsAddr == "" {
 		return fmt.Errorf("-pprof requires -metrics-addr (pprof is served on the metrics listener)")
+	}
+	if *traceBuffer < 1 {
+		return fmt.Errorf("-trace-buffer must be at least 1, got %d", *traceBuffer)
+	}
+	if *traceSlowMS < 0 {
+		return fmt.Errorf("-trace-slow-ms must be >= 0, got %d", *traceSlowMS)
 	}
 	slogger, err := newLogger(*logFormat)
 	if err != nil {
@@ -178,9 +200,24 @@ func run(args []string) error {
 	})
 	defer scheduler.Close()
 
+	// The tracer's flight recorder is fixed-size: recent traces ride a
+	// ring, while error traces and the slowest settles are retained past
+	// eviction so the interesting ones survive a busy daemon.
+	var tracer *tracing.Tracer
+	if *traceOn {
+		tracer = tracing.New(tracing.Options{
+			Buffer:    *traceBuffer,
+			SlowFloor: time.Duration(*traceSlowMS) * time.Millisecond,
+		})
+		registerTracingMetrics(obsReg, tracer)
+		logf("tracing on: keeping %d recent traces plus errors and settles >= %dms — GET /v2/traces",
+			*traceBuffer, *traceSlowMS)
+	}
+
 	regOpts := []registry.Option{
 		registry.WithScheduler(scheduler),
 		registry.WithObservability(obsReg),
+		registry.WithTracing(tracer),
 	}
 	var st *store.FileStore
 	if *dataDir != "" {
@@ -236,7 +273,7 @@ func run(args []string) error {
 	}
 
 	srv := wire.NewRegistryServer(reg, defaultID, cfg, logf,
-		wire.WithObs(obsReg), wire.WithSlog(slogger))
+		wire.WithObs(obsReg), wire.WithSlog(slogger), wire.WithTracing(tracer))
 	// Finish what the crash interrupted: settles recorded as requested
 	// but never settled re-enter the normal admission path.
 	srv.ResumeSettles(pending)
@@ -366,6 +403,32 @@ func metricsMux(o *obs.Registry, withPprof bool) *http.ServeMux {
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 	return mux
+}
+
+// registerTracingMetrics exposes the flight recorder's occupancy on the
+// metrics listener so operators can see retention pressure (how many
+// traces the ring holds, how many were evicted unretained) without
+// scraping /v2/traces. No-op unless both subsystems are enabled.
+func registerTracingMetrics(o *obs.Registry, tr *tracing.Tracer) {
+	if o == nil || tr == nil {
+		return
+	}
+	col := tr.Collector()
+	o.GaugeFunc("imc2_tracing_recent_traces_count",
+		"Traces in the flight recorder's recent ring.",
+		func() float64 { return float64(col.Stats().RecentTraces) })
+	o.GaugeFunc("imc2_tracing_error_traces_count",
+		"Error traces retained past ring eviction.",
+		func() float64 { return float64(col.Stats().ErrorTraces) })
+	o.GaugeFunc("imc2_tracing_slow_traces_count",
+		"Slow settle traces retained past ring eviction.",
+		func() float64 { return float64(col.Stats().SlowTraces) })
+	o.GaugeFunc("imc2_tracing_collected_traces_total",
+		"Traces ever collected by the flight recorder.",
+		func() float64 { return float64(col.Stats().Collected) })
+	o.GaugeFunc("imc2_tracing_evicted_traces_total",
+		"Traces evicted from the ring without error/slow retention.",
+		func() float64 { return float64(col.Stats().Evicted) })
 }
 
 // parseMechanism maps the CLI name to a stage-2 mechanism.

@@ -1,0 +1,154 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"imc2/internal/wire"
+)
+
+func TestRunRejectsBadTracingFlags(t *testing.T) {
+	if err := run([]string{"-trace", "-trace-buffer", "0", "-addr", "127.0.0.1:0"}); err == nil {
+		t.Fatal("-trace-buffer 0 accepted")
+	}
+	if err := run([]string{"-trace", "-trace-slow-ms", "-1", "-addr", "127.0.0.1:0"}); err == nil {
+		t.Fatal("negative -trace-slow-ms accepted")
+	}
+}
+
+// TestTraceEndpointE2E drives the real daemon with -trace and a durable
+// store: one close must produce one retained trace whose span tree
+// covers every layer — the wire request root, the settle (with its
+// scheduler admission event), truth discovery (with per-iteration
+// events), the auction, and the store's appends and fsyncs — all under
+// a single trace ID served by GET /v2/traces/{id}.
+func TestTraceEndpointE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and drives the real daemon; skipped in -short")
+	}
+	bin := buildPlatformd(t)
+
+	const (
+		seed    = 7
+		workers = 20
+		tasks   = 30
+		copiers = 5
+	)
+	d := startDaemon(t, bin, []string{
+		"-addr", freeAddr(t),
+		"-seed", fmt.Sprint(seed), "-workers", fmt.Sprint(workers),
+		"-tasks", fmt.Sprint(tasks), "-copiers", fmt.Sprint(copiers),
+		"-parallelism", "1",
+		"-data-dir", t.TempDir(), "-fsync", "settle",
+		"-trace", "-trace-buffer", "64", "-trace-slow-ms", "0",
+	})
+
+	ctx := context.Background()
+	id := soleCampaignID(t, d.client)
+	if _, err := d.client.SubmitBatch(ctx, id, workloadSubmissions(t, seed, workers, tasks, copiers)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.client.CloseCampaign(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.client.AwaitSettled(ctx, id, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// The settle outlives the close request, so the trace stays
+	// in-progress briefly after AwaitSettled returns; poll until the
+	// flight recorder shows it complete.
+	var settle *wire.TraceSummary
+	deadline := time.Now().Add(10 * time.Second)
+	for settle == nil {
+		page, err := d.client.Traces(ctx, id, 0, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range page.Traces {
+			if tr := &page.Traces[i]; tr.Kind == "settle" && !tr.InProgress {
+				settle = tr
+				break
+			}
+		}
+		if settle == nil {
+			if time.Now().After(deadline) {
+				t.Fatalf("no completed settle trace for campaign %s\nstderr:\n%s", id, d.stderr.String())
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	if settle.Campaign != id {
+		t.Errorf("settle trace campaign = %q, want %q", settle.Campaign, id)
+	}
+
+	snap, err := d.client.TraceByID(ctx, settle.TraceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.TraceID != settle.TraceID {
+		t.Fatalf("GET /v2/traces/%s returned trace %s", settle.TraceID, snap.TraceID)
+	}
+	if snap.DroppedSpans != 0 {
+		t.Errorf("settle trace dropped %d spans", snap.DroppedSpans)
+	}
+
+	spans := make(map[string]*wire.SpanSnapshot, len(snap.Spans))
+	for i := range snap.Spans {
+		s := &snap.Spans[i]
+		if s.InProgress {
+			t.Errorf("span %s still in progress in a completed trace", s.Name)
+		}
+		spans[s.Name] = s
+	}
+	// One trace, every layer: wire root, settle, truth, auction, store.
+	for _, want := range []string{
+		"POST /v2/campaigns/{id}/close",
+		"campaign.settle",
+		"truth.discover",
+		"auction",
+		"store.append",
+		"store.fsync",
+	} {
+		if spans[want] == nil {
+			t.Errorf("trace is missing span %q (got %d spans)", want, len(snap.Spans))
+		}
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// The settle hangs off the wire root; truth discovery hangs off the
+	// settle — the layers share one tree, not parallel roots.
+	root := spans["POST /v2/campaigns/{id}/close"]
+	if root.ParentID != "" {
+		t.Errorf("wire root span has parent %q", root.ParentID)
+	}
+	if got := spans["campaign.settle"].ParentID; got != root.SpanID {
+		t.Errorf("campaign.settle parent = %q, want wire root %q", got, root.SpanID)
+	}
+	if got := spans["truth.discover"].ParentID; got != spans["campaign.settle"].SpanID {
+		t.Errorf("truth.discover parent = %q, want campaign.settle %q", got, spans["campaign.settle"].SpanID)
+	}
+
+	// Scheduler admission and truth iterations surface as span events.
+	if !spanHasEvent(spans["campaign.settle"], "sched.admitted") {
+		t.Error("campaign.settle span has no sched.admitted event (queue wait is invisible)")
+	}
+	if !spanHasEvent(spans["truth.discover"], "truth.iteration") {
+		t.Error("truth.discover span has no truth.iteration events")
+	}
+
+	d.stopGracefully(t)
+}
+
+func spanHasEvent(s *wire.SpanSnapshot, name string) bool {
+	for _, ev := range s.Events {
+		if ev.Name == name {
+			return true
+		}
+	}
+	return false
+}

@@ -11,6 +11,7 @@
 //	workeragent -platform http://127.0.0.1:8080 -stats
 //	workeragent -platform http://127.0.0.1:8080 -campaign cmp-… -estimate
 //	workeragent -platform http://127.0.0.1:8080 -campaign cmp-… -seed 43 -all -close
+//	workeragent -platform http://127.0.0.1:8080 -trace 4bf92f3577b34da6a3ce929d0e0e4736
 //
 // With -close the agent settles the auction and prints the report,
 // scoring the estimated truth against the ground truth it can reconstruct
@@ -27,6 +28,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"imc2/internal/gen"
@@ -57,6 +59,7 @@ func run(args []string, out io.Writer) error {
 		list      = fs.Bool("list", false, "list the platform's campaigns and exit")
 		estimate  = fs.Bool("estimate", false, "print the campaign's live truth estimate (requires -campaign) and exit")
 		showStats = fs.Bool("stats", false, "print the platform's unified stats snapshot (GET /v2/stats) and exit")
+		traceID   = fs.String("trace", "", "pretty-print this trace's span tree (GET /v2/traces/{id}; requires platformd -trace) and exit")
 		timeout   = fs.Duration("timeout", time.Minute, "request deadline")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -75,6 +78,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if *showStats {
 		return printStats(ctx, client, out)
+	}
+	if *traceID != "" {
+		return printTrace(ctx, client, *traceID, out)
 	}
 	if *estimate {
 		if *campaign == "" {
@@ -119,7 +125,7 @@ func run(args []string, out io.Writer) error {
 	case *close_:
 		// handled below
 	default:
-		return fmt.Errorf("nothing to do: pass -all, -index, -close, -list, -estimate, or -stats")
+		return fmt.Errorf("nothing to do: pass -all, -index, -close, -list, -estimate, -stats, or -trace")
 	}
 
 	if *close_ {
@@ -218,6 +224,95 @@ func printEstimate(ctx context.Context, client *wire.Client, campaign string, ou
 		fmt.Fprintf(out, "  %s = %s\n", id, est.Truth[id])
 	}
 	return nil
+}
+
+// printTrace fetches one trace's full span tree and renders it as an
+// indented tree — each span with its duration, attributes, and error,
+// span events inset beneath it with their offset from the span's start.
+func printTrace(ctx context.Context, client *wire.Client, id string, out io.Writer) error {
+	tr, err := client.TraceByID(ctx, id)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "trace %s", tr.TraceID)
+	if tr.Kind != "" {
+		fmt.Fprintf(out, " (%s)", tr.Kind)
+	}
+	fmt.Fprintf(out, ": %d spans, %.2fms", len(tr.Spans), tr.DurationMS)
+	if tr.Error {
+		fmt.Fprint(out, ", ERROR")
+	}
+	fmt.Fprintln(out)
+	if tr.DroppedSpans > 0 {
+		fmt.Fprintf(out, "(%d spans dropped by the per-trace bound)\n", tr.DroppedSpans)
+	}
+
+	// Rebuild the tree: spans whose parent is absent (or none) are roots.
+	byID := make(map[string]bool, len(tr.Spans))
+	for _, s := range tr.Spans {
+		byID[s.SpanID] = true
+	}
+	children := make(map[string][]int)
+	var roots []int
+	for i, s := range tr.Spans {
+		if s.ParentID != "" && byID[s.ParentID] {
+			children[s.ParentID] = append(children[s.ParentID], i)
+		} else {
+			roots = append(roots, i)
+		}
+	}
+	byStart := func(idx []int) {
+		sort.Slice(idx, func(a, b int) bool { return tr.Spans[idx[a]].Start.Before(tr.Spans[idx[b]].Start) })
+	}
+	var walk func(i, depth int)
+	walk = func(i, depth int) {
+		s := tr.Spans[i]
+		indent := strings.Repeat("  ", depth)
+		dur := fmt.Sprintf("%.2fms", s.DurationMS)
+		if s.InProgress {
+			dur = "in progress"
+		}
+		fmt.Fprintf(out, "%s%s  %s%s", indent, s.Name, dur, attrList(s.Attrs))
+		if s.Error != "" {
+			fmt.Fprintf(out, "  ERROR: %s", s.Error)
+		}
+		fmt.Fprintln(out)
+		for _, ev := range s.Events {
+			fmt.Fprintf(out, "%s  · %s  +%.2fms%s\n",
+				indent, ev.Name, float64(ev.At.Sub(s.Start))/float64(time.Millisecond), attrList(ev.Attrs))
+		}
+		if s.DroppedAttrs > 0 || s.DroppedEvents > 0 {
+			fmt.Fprintf(out, "%s  (%d attrs, %d events dropped by per-span bounds)\n",
+				indent, s.DroppedAttrs, s.DroppedEvents)
+		}
+		kids := children[s.SpanID]
+		byStart(kids)
+		for _, k := range kids {
+			walk(k, depth+1)
+		}
+	}
+	byStart(roots)
+	for _, r := range roots {
+		walk(r, 0)
+	}
+	return nil
+}
+
+// attrList renders span/event attributes as "  [k=v, k=v]", keys sorted.
+func attrList(attrs map[string]string) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	pairs := make([]string, 0, len(keys))
+	for _, k := range keys {
+		pairs = append(pairs, k+"="+attrs[k])
+	}
+	return "  [" + strings.Join(pairs, ", ") + "]"
 }
 
 // closeCampaign settles either the /v1 default campaign (synchronous) or

@@ -128,6 +128,20 @@
 // -log-format; see API.md's "Observability". Instrumentation never
 // changes results, and a nil registry disables it at zero cost.
 //
+// For request-level visibility the platform also traces itself
+// (internal/tracing): attach imc2.NewTracer to the registry
+// (imc2.WithTracing) and the wire server, and every request becomes a
+// root span — adopting an inbound W3C traceparent when one is present —
+// while a close's asynchronous settle carries one child tree through
+// scheduler admission, truth-discovery iterations, the auction, and the
+// store's appends and fsyncs. Completed traces land in a fixed-size
+// flight recorder that keeps the recent ring plus every error trace and
+// the slowest settles, served on GET /v2/traces and /v2/traces/{id}
+// (platformd -trace, pretty-printed by workeragent -trace <id>). Like
+// metrics, tracing never changes results — reports are bit-identical
+// traced or not — and a nil tracer costs nothing: no clock reads, no
+// allocations. See API.md's "Tracing".
+//
 // Failures everywhere carry a machine-readable code (imc2.ErrorCodeOf;
 // sentinels imc2.ErrNotFound, imc2.ErrConflict, imc2.ErrInvalid,
 // imc2.ErrInfeasible, imc2.ErrMonopolist, imc2.ErrCancelled), which the

@@ -15,6 +15,7 @@ import (
 	"imc2/internal/stats"
 	"imc2/internal/store"
 	"imc2/internal/strategy"
+	"imc2/internal/tracing"
 	"imc2/internal/truth"
 )
 
@@ -544,6 +545,40 @@ type SettleTraceRecorder = truth.Recorder
 // MultiSettleTrace fans one settle's telemetry out to several sinks,
 // dropping nils; it returns nil when every sink is nil.
 func MultiSettleTrace(traces ...SettleTrace) SettleTrace { return truth.MultiTrace(traces...) }
+
+// Tracer records span trees — one per request or settle — into a
+// fixed-size flight recorder. A nil tracer disables tracing everywhere
+// at zero cost (no clock reads, no allocations on the hot paths), and
+// tracing never changes results: settled reports are byte-identical
+// traced or untraced.
+type Tracer = tracing.Tracer
+
+// TracerOptions sizes a tracer's flight recorder: the recent-trace ring
+// plus the retention pools that keep error traces and the slowest
+// settles after eviction.
+type TracerOptions = tracing.Options
+
+// TraceCollector is a tracer's flight recorder, queried for retained
+// traces (Traces/Trace) and occupancy (Stats). The wire server's
+// GET /v2/traces endpoints serve exactly this.
+type TraceCollector = tracing.Collector
+
+// TraceSummary is one retained trace's listing row; TraceSnapshot is
+// its full span tree.
+type (
+	TraceSummary  = tracing.TraceSummary
+	TraceSnapshot = tracing.TraceSnapshot
+)
+
+// NewTracer builds a tracer with a flight recorder sized by opts (zero
+// values take defaults).
+func NewTracer(opts TracerOptions) *Tracer { return tracing.New(opts) }
+
+// WithTracing attaches a tracer to a campaign registry: every settle
+// records a span tree — admission wait, truth-discovery iterations,
+// auction, durable appends — retrievable from the tracer's Collector.
+// A nil tracer is the untraced default.
+func WithTracing(tr *Tracer) RegistryOption { return registry.WithTracing(tr) }
 
 // ---- Workload generation -----------------------------------------------------
 

@@ -11,6 +11,13 @@ import (
 // obsPath is the observability package every instrument comes from.
 const obsPath = "imc2/internal/obs"
 
+// tracingPath is the span subsystem. Its methods carry the same
+// nil-is-zero-cost contract as obs instruments, so functions that
+// record spans are held to the clock-seam rule too — and the package
+// itself is checked (unlike obs) because every exported Span/Tracer
+// method must guard its own clock reads behind the nil receiver check.
+const tracingPath = "imc2/internal/tracing"
+
 // registrationMethods are the *obs.Registry constructors that take a
 // metric name as their first argument.
 var registrationMethods = map[string]bool{
@@ -28,7 +35,7 @@ var registrationMethods = map[string]bool{
 // the analyzer and the wire package's runtime naming test. Adding a new
 // subsystem means extending this list deliberately, here.
 var MetricNameRE = regexp.MustCompile(
-	`^imc2_(wire|sched|store|registry|truth)_[a-z][a-z0-9_]*_(total|seconds|bytes|count|info|ratio)$`)
+	`^imc2_(wire|sched|store|registry|truth|tracing)_[a-z][a-z0-9_]*_(total|seconds|bytes|count|info|ratio)$`)
 
 // CheckMetricName validates one metric name against the convention.
 func CheckMetricName(name string) error {
@@ -86,16 +93,18 @@ func ObsNamingAnalyzer() *Analyzer {
 }
 
 // checkClockSeam flags unguarded clock reads in functions that record
-// to obs instruments.
+// to obs instruments or tracing spans. Inside the tracing package every
+// function is checked unconditionally: its clock reads are the ones the
+// nil-tracer contract promises never happen.
 func checkClockSeam(pass *Pass, decl *ast.FuncDecl) {
-	usesObs := false
+	usesObs := pass.Pkg.Path == tracingPath
 	var clocks []*ast.CallExpr
 	ast.Inspect(decl.Body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
 			return true
 		}
-		if path, _, _, ok := pass.Method(call); ok && path == obsPath {
+		if path, _, _, ok := pass.Method(call); ok && (path == obsPath || path == tracingPath) {
 			usesObs = true
 		}
 		if path, name, ok := pass.PkgFunc(call); ok && path == "time" && (name == "Now" || name == "Since") {

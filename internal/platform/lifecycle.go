@@ -165,7 +165,7 @@ func (p *Platform) Settle(ctx context.Context, cfg Config) (*Report, error) {
 	var audit *Audit
 	var err error
 	if cfg.RecordClosing != nil {
-		err = cfg.RecordClosing()
+		err = cfg.RecordClosing(ctx)
 	}
 	if err == nil {
 		// Admission: with a scheduler configured, wait for a settle slot
@@ -186,7 +186,7 @@ func (p *Platform) Settle(ctx context.Context, cfg Config) (*Report, error) {
 		// The report must be durable before the in-memory state admits
 		// the campaign settled; failing here discards the computed
 		// report rather than acknowledging an unpersisted obligation.
-		err = cfg.RecordSettled(rep, audit)
+		err = cfg.RecordSettled(ctx, rep, audit)
 	}
 
 	p.mu.Lock()

@@ -9,11 +9,13 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 
 	"imc2/internal/auction"
 	"imc2/internal/imcerr"
 	"imc2/internal/model"
+	"imc2/internal/tracing"
 	"imc2/internal/truth"
 )
 
@@ -77,15 +79,18 @@ type Config struct {
 	// the durability hook that logs a close-requested event. An error
 	// fails the settle before any stage runs (the campaign reverts to
 	// Open). Submissions are already frozen when it runs, so the event
-	// it appends is ordered after every accepted submission.
-	RecordClosing func() error
+	// it appends is ordered after every accepted submission. ctx is the
+	// settle's context — carrying its trace span when tracing is on —
+	// never a cancellation signal the hook must honor.
+	RecordClosing func(ctx context.Context) error
 	// RecordSettled, when non-nil, is invoked after both stages succeed
 	// and before the campaign transitions to Settled. An error fails
 	// the settle (the campaign reverts to Open and the report is
 	// discarded) — a campaign never reads Settled in memory unless its
 	// report is durable. The campaign is still Closing while it runs,
-	// so no submission or lifecycle event can interleave.
-	RecordSettled func(rep *Report, audit *Audit) error
+	// so no submission or lifecycle event can interleave. ctx carries
+	// the settle's trace span, as for RecordClosing.
+	RecordSettled func(ctx context.Context, rep *Report, audit *Audit) error
 
 	// WarmStart, when non-nil, is consulted by the settle stages after
 	// the campaign enters Closing: given the frozen submission count, it
@@ -288,13 +293,26 @@ func (p *Platform) runStages(ctx context.Context, cfg Config) (*Report, *Audit, 
 	if err != nil {
 		return nil, nil, err
 	}
+	span := tracing.SpanFromContext(ctx)
 	rec := &truth.Recorder{}
 	topt := cfg.TruthOptions
-	topt.Trace = truth.MultiTrace(rec, topt.Trace)
+	// Stage 1 under its own child span: the engine's per-iteration
+	// telemetry is fanned into span events via SpanTrace, so the
+	// convergence history lives inside the settle's trace. Nil span →
+	// nil SpanTrace, dropped by MultiTrace.
+	tspan := span.Child("truth.discover")
+	tspan.SetAttr("method", cfg.TruthMethod.String())
+	topt.Trace = truth.MultiTrace(rec, topt.Trace, truth.SpanTrace(tspan))
 	res, err := p.discoverTruth(ds, cfg, topt)
 	if err != nil {
-		return nil, nil, imcerr.Wrapf(imcerr.CodeInvalid, err, "platform: truth discovery")
+		err = imcerr.Wrapf(imcerr.CodeInvalid, err, "platform: truth discovery")
+		tspan.SetError(err)
+		tspan.End()
+		return nil, nil, err
 	}
+	tspan.SetAttr("iterations", strconv.Itoa(res.Iterations))
+	tspan.SetAttr("converged", strconv.FormatBool(res.Converged))
+	tspan.End()
 	if err := checkCtx(ctx); err != nil {
 		return nil, nil, err
 	}
@@ -303,20 +321,16 @@ func (p *Platform) runStages(ctx context.Context, cfg Config) (*Report, *Audit, 
 		audit.Convergence = rec.Iterations
 	}
 	in := BuildInstance(ds, res.Accuracy, bids)
-	var out *auction.Outcome
-	switch cfg.Mechanism {
-	case MechanismReverseAuction:
-		out, err = auction.ReverseAuction(in)
-	case MechanismGreedyAccuracy:
-		out, err = auction.GreedyAccuracy(in)
-	case MechanismGreedyBid:
-		out, err = auction.GreedyBid(in)
-	default:
-		return nil, nil, imcerr.New(imcerr.CodeInvalid, "platform: unknown mechanism %v", cfg.Mechanism)
-	}
+	aspan := span.Child("auction")
+	aspan.SetAttr("mechanism", cfg.Mechanism.String())
+	out, err := runAuction(in, cfg.Mechanism)
 	if err != nil {
-		return nil, nil, fmt.Errorf("platform: %v: %w", cfg.Mechanism, err)
+		aspan.SetError(err)
+		aspan.End()
+		return nil, nil, err
 	}
+	aspan.SetAttr("winners", strconv.Itoa(len(out.Winners)))
+	aspan.End()
 	if err := checkCtx(ctx); err != nil {
 		return nil, nil, err
 	}
@@ -344,6 +358,26 @@ func (p *Platform) runStages(ctx context.Context, cfg Config) (*Report, *Audit, 
 		report.WorkerAccuracy[ds.WorkerID(i)] = a
 	}
 	return report, audit, nil
+}
+
+// runAuction dispatches stage 2 to the configured mechanism.
+func runAuction(in *auction.Instance, mech Mechanism) (*auction.Outcome, error) {
+	var out *auction.Outcome
+	var err error
+	switch mech {
+	case MechanismReverseAuction:
+		out, err = auction.ReverseAuction(in)
+	case MechanismGreedyAccuracy:
+		out, err = auction.GreedyAccuracy(in)
+	case MechanismGreedyBid:
+		out, err = auction.GreedyBid(in)
+	default:
+		return nil, imcerr.New(imcerr.CodeInvalid, "platform: unknown mechanism %v", mech)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("platform: %v: %w", mech, err)
+	}
+	return out, nil
 }
 
 // discoverTruth runs stage 1: a warm engine resumed to convergence when

@@ -17,14 +17,14 @@ func TestSettleRecordHooksOrderAndSuccess(t *testing.T) {
 	p, _ := smallCampaign(t, 41)
 	var calls []string
 	cfg := DefaultConfig()
-	cfg.RecordClosing = func() error {
+	cfg.RecordClosing = func(context.Context) error {
 		if got := p.State(); got != StateClosing {
 			t.Errorf("RecordClosing saw state %v, want closing", got)
 		}
 		calls = append(calls, "closing")
 		return nil
 	}
-	cfg.RecordSettled = func(rep *Report, audit *Audit) error {
+	cfg.RecordSettled = func(_ context.Context, rep *Report, audit *Audit) error {
 		if rep == nil {
 			t.Error("RecordSettled got a nil report")
 		}
@@ -55,7 +55,7 @@ func TestRecordSettledFailureDiscardsReport(t *testing.T) {
 	boom := errors.New("disk full")
 	cfg := DefaultConfig()
 	fail := true
-	cfg.RecordSettled = func(*Report, *Audit) error {
+	cfg.RecordSettled = func(context.Context, *Report, *Audit) error {
 		if fail {
 			return boom
 		}
@@ -85,8 +85,8 @@ func TestRecordClosingFailureAbortsBeforeStages(t *testing.T) {
 	p, _ := smallCampaign(t, 45)
 	boom := errors.New("wal sealed")
 	cfg := DefaultConfig()
-	cfg.RecordClosing = func() error { return boom }
-	cfg.RecordSettled = func(*Report, *Audit) error {
+	cfg.RecordClosing = func(context.Context) error { return boom }
+	cfg.RecordSettled = func(context.Context, *Report, *Audit) error {
 		t.Error("stages ran (RecordSettled called) after RecordClosing failed")
 		return nil
 	}

@@ -7,6 +7,7 @@ import (
 	"imc2/internal/obs"
 	"imc2/internal/platform"
 	"imc2/internal/store"
+	"imc2/internal/tracing"
 )
 
 // benchSubmissions pre-generates n distinct single-task submissions so
@@ -112,6 +113,46 @@ func TestSubmitInMemoryZeroAllocsInstrumented(t *testing.T) {
 	}
 	if avg != 0 {
 		t.Fatalf("instrumented in-memory submit allocates %.1f allocs/op, want 0", avg)
+	}
+}
+
+// TestSubmitZeroAllocsWithNilTracer is the tracing counterpart of the
+// allocation guard: a registry built WITHOUT a tracer (platformd
+// without -trace) must submit with zero allocations — the nil-tracer
+// seam may not read clocks or allocate on the hot path. A registry with
+// a tracer attached is held to the same bar, because Submit itself is
+// never traced (only settles are).
+func TestSubmitZeroAllocsWithNilTracer(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		tracer *tracing.Tracer
+	}{
+		{"nil-tracer", nil},
+		{"active-tracer", tracing.New(tracing.Options{})},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			r := New(WithTracing(tc.tracer))
+			c, err := r.Create("allocs", testTasks(), platform.DefaultConfig(), false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const runs = 1000
+			subs := benchSubmissions(runs + 10)
+			i := 0
+			var submitErr error
+			avg := testing.AllocsPerRun(runs, func() {
+				if err := c.Submit(subs[i]); err != nil && submitErr == nil {
+					submitErr = err
+				}
+				i++
+			})
+			if submitErr != nil {
+				t.Fatal(submitErr)
+			}
+			if avg != 0 {
+				t.Fatalf("submit with %s allocates %.1f allocs/op, want 0", tc.name, avg)
+			}
+		})
 	}
 }
 

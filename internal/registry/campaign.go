@@ -10,6 +10,7 @@ import (
 	"imc2/internal/platform"
 	"imc2/internal/sched"
 	"imc2/internal/store"
+	"imc2/internal/tracing"
 	"imc2/internal/truth"
 )
 
@@ -38,6 +39,11 @@ type Campaign struct {
 	// The in-memory submit path pays one nil check and one atomic add
 	// for it — no allocations either way.
 	m *regMetrics
+	// tracer, when non-nil, gives embedder-driven settles their own root
+	// span; wire-driven settles arrive with a span already on ctx and
+	// reuse it. The submit path never touches it — nil or not, Submit
+	// stays 0 allocs.
+	tracer *tracing.Tracer
 	// recoveredAt is when this campaign was rebuilt from the store; zero
 	// for campaigns created in this process.
 	recoveredAt time.Time
@@ -179,6 +185,22 @@ func (c *Campaign) appendLocked(ev store.Event) error {
 	return nil
 }
 
+// appendLockedCtx is appendLocked for callers whose context may carry a
+// trace span: when the store is context-aware (store.ContextAppender),
+// the append — and its fsync/snapshot — is recorded as child spans of
+// the settle. Stores without the seam, and span-free contexts, behave
+// exactly like appendLocked. Callers hold storeMu.
+func (c *Campaign) appendLockedCtx(ctx context.Context, ev store.Event) error {
+	ca, ok := c.store.(store.ContextAppender)
+	if !ok {
+		return c.appendLocked(ev)
+	}
+	if err := ca.AppendContext(ctx, ev); err != nil {
+		return imcerr.Wrapf(imcerr.CodeInternal, err, "registry: persisting %s event for %s", ev.Type, c.id)
+	}
+	return nil
+}
+
 // Settle closes the campaign and runs both stages under the campaign's
 // configuration, recording the attempt's outcome for SettleErr (starting
 // it clears the previous attempt's failure). While one caller runs the
@@ -188,7 +210,18 @@ func (c *Campaign) appendLocked(ev store.Event) error {
 // failure may have repaired the instance.
 func (c *Campaign) Settle(ctx context.Context) (*platform.Report, error) {
 	c.ClearSettleErr()
+	// A traced registry gives settles arriving without a span (embedder
+	// calls, not wire requests) their own root trace; a ctx already
+	// carrying a span (the wire layer's settle child) is left alone.
+	var span *tracing.Span
+	if c.tracer != nil && tracing.SpanFromContext(ctx) == nil {
+		ctx, span = c.tracer.StartRoot(ctx, "campaign.settle", "")
+		span.SetKind("settle")
+		span.SetAttr("campaign", c.id)
+	}
 	rep, err := c.p.Settle(ctx, c.settleConfig())
+	span.SetError(err)
+	span.End()
 	c.mu.Lock()
 	c.settleErr = err
 	c.mu.Unlock()
@@ -241,15 +274,15 @@ func (c *Campaign) baseSettleConfig() platform.Config {
 		cfg.TruthOptions.Executor = c.sched.Pool()
 	}
 	if c.store != nil {
-		cfg.RecordClosing = func() error {
+		cfg.RecordClosing = func(ctx context.Context) error {
 			c.storeMu.Lock()
 			defer c.storeMu.Unlock()
-			return c.appendLocked(store.Event{Type: store.EventCloseRequested, Campaign: c.id})
+			return c.appendLockedCtx(ctx, store.Event{Type: store.EventCloseRequested, Campaign: c.id})
 		}
-		cfg.RecordSettled = func(rep *platform.Report, audit *platform.Audit) error {
+		cfg.RecordSettled = func(ctx context.Context, rep *platform.Report, audit *platform.Audit) error {
 			c.storeMu.Lock()
 			defer c.storeMu.Unlock()
-			return c.appendLocked(store.Event{
+			return c.appendLockedCtx(ctx, store.Event{
 				Type:     store.EventSettled,
 				Campaign: c.id,
 				Settled: &store.SettledPayload{
@@ -262,9 +295,9 @@ func (c *Campaign) baseSettleConfig() platform.Config {
 	if c.m != nil {
 		cfg.TruthOptions.Trace = truth.MultiTrace(cfg.TruthOptions.Trace, c.m.trace())
 		inner := cfg.RecordSettled
-		cfg.RecordSettled = func(rep *platform.Report, audit *platform.Audit) error {
+		cfg.RecordSettled = func(ctx context.Context, rep *platform.Report, audit *platform.Audit) error {
 			if inner != nil {
-				if err := inner(rep, audit); err != nil {
+				if err := inner(ctx, rep, audit); err != nil {
 					return err
 				}
 			}

@@ -19,6 +19,7 @@ import (
 	"imc2/internal/platform"
 	"imc2/internal/sched"
 	"imc2/internal/store"
+	"imc2/internal/tracing"
 )
 
 // numShards spreads campaigns over independent locks. A power of two
@@ -53,6 +54,11 @@ type Registry struct {
 	// m, when non-nil, holds the registry's obs instruments (see
 	// WithObservability). Nil is the uninstrumented registry.
 	m *regMetrics
+
+	// tracer, when non-nil, is handed to every campaign so settles are
+	// traced (see WithTracing). Nil is the untraced registry — zero
+	// clock reads, zero allocations on the hot paths.
+	tracer *tracing.Tracer
 
 	// ordered lists campaigns in creation (= ID) order. Campaigns are
 	// never removed, so pagination is a slice copy — List must not walk
@@ -108,6 +114,15 @@ func WithStore(st store.Store) Option {
 // registry, never for one shared across registries.
 func WithOwnedStore(st store.Store) Option {
 	return func(r *Registry) { r.st, r.ownsStore = st, true }
+}
+
+// WithTracing attaches a tracer: every campaign settle gets a span tree
+// (admission wait, truth iterations, auction, durable appends) in the
+// tracer's flight recorder. Settles already inside a trace — wire
+// requests — join it; embedder-driven settles open their own root. A
+// nil tracer is the untraced default.
+func WithTracing(tr *tracing.Tracer) Option {
+	return func(r *Registry) { r.tracer = tr }
 }
 
 // WithStoreError poisons the registry with a store-open failure:
@@ -237,7 +252,7 @@ func (r *Registry) adopt(name string, p *platform.Platform, cfg platform.Config)
 	// acquires r.mu while holding a shard lock.)
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	c := &Campaign{id: r.nextID(), name: name, p: p, cfg: cfg, sched: r.sched, store: r.st, m: r.m}
+	c := &Campaign{id: r.nextID(), name: name, p: p, cfg: cfg, sched: r.sched, store: r.st, m: r.m, tracer: r.tracer}
 	if r.st != nil {
 		// Durability before visibility: the created event is on disk
 		// before any client can learn the campaign's ID. Holding r.mu

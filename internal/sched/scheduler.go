@@ -8,6 +8,7 @@ import (
 
 	"imc2/internal/imcerr"
 	"imc2/internal/obs"
+	"imc2/internal/tracing"
 )
 
 // ErrQueueFull reports an admission queue at its configured depth
@@ -160,8 +161,9 @@ type waiter struct {
 	key      string
 	ready    chan struct{}
 	admitted bool // set under Scheduler.mu when the slot is granted
-	// enqueuedAt is set (only on instrumented schedulers) when the
-	// waiter joins the queue, for the queue-wait histogram.
+	// enqueuedAt is set (only on instrumented or traced acquisitions)
+	// when the waiter joins the queue, for the queue-wait histogram and
+	// the "sched.admitted" span event.
 	enqueuedAt time.Time
 }
 
@@ -198,13 +200,18 @@ func (s *Scheduler) Close() { s.pool.Close() }
 // an Acquire that would exceed it fails immediately with ErrQueueFull —
 // backpressure instead of an unbounded queue. The returned release
 // function must be called exactly once when the settle's stages finish.
-// Acquire satisfies platform.Admission.
+// When ctx carries a tracing span, admission and release are recorded
+// as events on it ("sched.admitted" with the queue wait, then
+// "sched.released" with the slot-hold time). Acquire satisfies
+// platform.Admission.
 func (s *Scheduler) Acquire(ctx context.Context, key string) (release func(), err error) {
+	span := tracing.SpanFromContext(ctx)
 	s.mu.Lock()
 	if s.maxSettles == 0 || (len(s.queue) == 0 && s.active < s.maxSettles) {
 		s.admitLocked(key)
 		s.mu.Unlock()
-		return s.releaseFunc(key), nil
+		span.Event("sched.admitted", tracing.Str("queued", "false"))
+		return s.releaseFunc(key, span), nil
 	}
 	if s.maxQueued > 0 && len(s.queue) >= s.maxQueued {
 		s.stats.TotalOverflowed++
@@ -213,7 +220,7 @@ func (s *Scheduler) Acquire(ctx context.Context, key string) (release func(), er
 		return nil, ErrQueueFull
 	}
 	w := &waiter{key: key, ready: make(chan struct{})}
-	if s.timed {
+	if s.timed || span != nil {
 		w.enqueuedAt = time.Now()
 	}
 	s.queue = append(s.queue, w)
@@ -224,16 +231,16 @@ func (s *Scheduler) Acquire(ctx context.Context, key string) (release func(), er
 
 	select {
 	case <-w.ready:
-		s.observeQueueWait(w)
-		return s.releaseFunc(key), nil
+		s.observeQueueWait(w, span)
+		return s.releaseFunc(key, span), nil
 	case <-ctx.Done():
 		s.mu.Lock()
 		if w.admitted {
 			// The slot was granted in the instant ctx fired; keep it —
 			// the settle proceeds rather than wasting the admission.
 			s.mu.Unlock()
-			s.observeQueueWait(w)
-			return s.releaseFunc(key), nil
+			s.observeQueueWait(w, span)
+			return s.releaseFunc(key, span), nil
 		}
 		for i, qw := range s.queue {
 			if qw == w {
@@ -248,24 +255,38 @@ func (s *Scheduler) Acquire(ctx context.Context, key string) (release func(), er
 	}
 }
 
-// releaseFunc wraps release for one admission; on instrumented
-// schedulers it also times how long the slot was held.
-func (s *Scheduler) releaseFunc(key string) func() {
-	if !s.timed {
+// releaseFunc wraps release for one admission; on instrumented or
+// traced acquisitions it also times how long the slot was held. span
+// may be nil.
+func (s *Scheduler) releaseFunc(key string, span *tracing.Span) func() {
+	if !s.timed && span == nil {
 		return func() { s.release(key) }
 	}
 	start := time.Now()
 	return func() {
-		s.m.runDuration.Observe(time.Since(start).Seconds())
+		elapsed := time.Since(start)
+		if s.timed {
+			s.m.runDuration.Observe(elapsed.Seconds())
+		}
+		span.Event("sched.released", tracing.F64("run_seconds", elapsed.Seconds()))
 		s.release(key)
 	}
 }
 
-// observeQueueWait records how long a queued waiter waited.
-func (s *Scheduler) observeQueueWait(w *waiter) {
-	if s.timed {
-		s.m.queueWait.Observe(time.Since(w.enqueuedAt).Seconds())
+// observeQueueWait records how long a queued waiter waited, on the
+// histogram and as a "sched.admitted" event on the settle's span; span
+// may be nil.
+func (s *Scheduler) observeQueueWait(w *waiter, span *tracing.Span) {
+	if !s.timed && span == nil {
+		return
 	}
+	wait := time.Since(w.enqueuedAt)
+	if s.timed {
+		s.m.queueWait.Observe(wait.Seconds())
+	}
+	span.Event("sched.admitted",
+		tracing.Str("queued", "true"),
+		tracing.F64("queue_wait_seconds", wait.Seconds()))
 }
 
 // admitLocked grants key a slot and updates the counters.

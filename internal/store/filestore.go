@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -11,6 +12,7 @@ import (
 
 	"imc2/internal/imcerr"
 	"imc2/internal/obs"
+	"imc2/internal/tracing"
 )
 
 // FileStore is the event-sourced persistence backend: an append-only
@@ -250,7 +252,26 @@ func (s *FileStore) RecoveredAt() time.Time {
 // describe a legal transition), writes the checksummed record, and
 // applies the fsync policy. A snapshot is folded and the WAL compacted
 // every SnapshotEvery appends. Append satisfies Store.
-func (s *FileStore) Append(ev Event) error {
+func (s *FileStore) Append(ev Event) error { return s.append(nil, ev) }
+
+// AppendContext is Append with the caller's trace attached: when ctx
+// carries a span, the append — and any fsync or snapshot it triggers —
+// records child spans ("store.append", "store.fsync", "store.snapshot")
+// in that trace. An untraced context degenerates to Append exactly: a
+// nil span is zero-cost, so durability latency is identical either way.
+// AppendContext satisfies ContextAppender.
+func (s *FileStore) AppendContext(ctx context.Context, ev Event) error {
+	span := tracing.SpanFromContext(ctx).Child("store.append")
+	span.SetAttr("event", string(ev.Type))
+	err := s.append(span, ev)
+	span.SetError(err)
+	span.End()
+	return err
+}
+
+// append is the shared durability path behind Append and AppendContext;
+// span may be nil (the untraced append).
+func (s *FileStore) append(span *tracing.Span, ev Event) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var start time.Time
@@ -281,7 +302,7 @@ func (s *FileStore) Append(ev Event) error {
 		return s.fail(fmt.Errorf("store: writing event %d: %w", ev.Seq, err))
 	}
 	if s.fsync == FsyncAlways || (s.fsync == FsyncSettle && obligationEvent(ev.Type)) {
-		if err := s.syncWAL(); err != nil {
+		if err := s.syncWAL(span); err != nil {
 			return s.fail(fmt.Errorf("store: syncing event %d: %w", ev.Seq, err))
 		}
 	}
@@ -298,21 +319,27 @@ func (s *FileStore) Append(ev Event) error {
 		// Snapshot failures do not fail the append — the event is
 		// already durable in the WAL; the snapshot only bounds replay
 		// time. The error is surfaced in Stats instead.
-		s.snapshotErr = s.snapshotLocked()
+		s.snapshotErr = s.snapshotLocked(span)
 	}
 	return nil
 }
 
 // syncWAL fsyncs the live segment, timing the call on instrumented
-// stores.
-func (s *FileStore) syncWAL() error {
+// stores and recording a "store.fsync" child on traced appends; span
+// may be nil.
+func (s *FileStore) syncWAL(span *tracing.Span) error {
+	fs := span.Child("store.fsync")
+	var err error
 	if !s.timed {
-		return s.f.Sync()
+		err = s.f.Sync()
+	} else {
+		start := time.Now()
+		err = s.f.Sync()
+		s.m.fsyncDur.Observe(time.Since(start).Seconds())
+		s.m.fsyncs.Inc()
 	}
-	start := time.Now()
-	err := s.f.Sync()
-	s.m.fsyncDur.Observe(time.Since(start).Seconds())
-	s.m.fsyncs.Inc()
+	fs.SetError(err)
+	fs.End()
 	return err
 }
 
@@ -335,8 +362,13 @@ func (s *FileStore) fail(err error) error {
 // snapshot file is ever unreadable (media error, bit rot), recovery
 // falls back to the retained one and replays its still-present tail —
 // skipping a damaged snapshot costs replay time, never data. Called
-// with s.mu held.
-func (s *FileStore) snapshotLocked() error {
+// with s.mu held; span may be nil (untraced fold).
+func (s *FileStore) snapshotLocked(span *tracing.Span) (err error) {
+	snap := span.Child("store.snapshot")
+	defer func() {
+		snap.SetError(err)
+		snap.End()
+	}()
 	var start time.Time
 	if s.timed {
 		start = time.Now()
@@ -352,7 +384,7 @@ func (s *FileStore) snapshotLocked() error {
 
 	// Rotate: further appends go to a fresh segment so compaction can
 	// reason about whole files.
-	if err := s.syncWAL(); err != nil {
+	if err := s.syncWAL(span); err != nil {
 		return fmt.Errorf("store: syncing segment before rotation: %w", err)
 	}
 	next, err := os.OpenFile(filepath.Join(s.dir, walName(s.lastSeq+1)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -416,7 +448,7 @@ func (s *FileStore) Snapshot() error {
 	if s.lastSeq == s.lastSnapshotSeq {
 		return nil // nothing new to fold
 	}
-	return s.snapshotLocked()
+	return s.snapshotLocked(nil)
 }
 
 // Close flushes the WAL, folds a final snapshot (so the next open
@@ -432,11 +464,11 @@ func (s *FileStore) Close() error {
 	s.closed = true
 	var firstErr error
 	if s.failed == nil {
-		if err := s.syncWAL(); err != nil && firstErr == nil {
+		if err := s.syncWAL(nil); err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("store: syncing on close: %w", err)
 		}
 		if s.lastSeq != s.lastSnapshotSeq {
-			if err := s.snapshotLocked(); err != nil && firstErr == nil {
+			if err := s.snapshotLocked(nil); err != nil && firstErr == nil {
 				firstErr = err
 			}
 		}

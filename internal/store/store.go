@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"time"
 
 	"imc2/internal/obs"
@@ -19,6 +20,16 @@ type Store interface {
 	Append(ev Event) error
 	// Close flushes buffered records and releases the backing files.
 	Close() error
+}
+
+// ContextAppender is the optional trace-aware append: a store that
+// implements it receives the caller's context so the append (and any
+// fsync or snapshot it triggers) can record spans in the caller's
+// trace. Durability semantics are identical to Append — callers
+// type-assert and fall back to Append when the store does not care
+// about context.
+type ContextAppender interface {
+	AppendContext(ctx context.Context, ev Event) error
 }
 
 // FsyncPolicy selects when the WAL is fsynced.

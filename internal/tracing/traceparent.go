@@ -1,0 +1,68 @@
+package tracing
+
+import "encoding/hex"
+
+// W3C Trace Context "traceparent" header support. The header is
+//
+//	version "-" trace-id "-" parent-id "-" trace-flags
+//	  00    -  32 hex    -   16 hex    -   2 hex
+//
+// Per the spec, a malformed header is ignored (the receiver starts a
+// fresh trace); version ff and all-zero IDs are invalid; versions
+// above 00 are accepted as long as the 00-format prefix parses
+// (forward compatibility).
+
+// TraceParentHeader is the canonical header name.
+const TraceParentHeader = "traceparent"
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// ParseTraceParent parses a traceparent header value. ok is false for
+// any malformed value — callers then mint a fresh trace ID.
+func ParseTraceParent(h string) (tid TraceID, parent SpanID, ok bool) {
+	// "00-" + 32 + "-" + 16 + "-" + 2 = 55 bytes minimum.
+	if len(h) < 55 {
+		return TraceID{}, SpanID{}, false
+	}
+	if h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return TraceID{}, SpanID{}, false
+	}
+	version := h[0:2]
+	if !isHex(version) || version == "ff" {
+		return TraceID{}, SpanID{}, false
+	}
+	if version == "00" && len(h) != 55 {
+		return TraceID{}, SpanID{}, false
+	}
+	if len(h) > 55 && h[55] != '-' {
+		return TraceID{}, SpanID{}, false
+	}
+	traceField, parentField, flags := h[3:35], h[36:52], h[53:55]
+	if !isHex(traceField) || !isHex(parentField) || !isHex(flags) {
+		return TraceID{}, SpanID{}, false
+	}
+	if _, err := hex.Decode(tid[:], []byte(traceField)); err != nil {
+		return TraceID{}, SpanID{}, false
+	}
+	if _, err := hex.Decode(parent[:], []byte(parentField)); err != nil {
+		return TraceID{}, SpanID{}, false
+	}
+	if tid.IsZero() || parent.IsZero() {
+		return TraceID{}, SpanID{}, false
+	}
+	return tid, parent, true
+}
+
+// FormatTraceParent renders the outbound header: version 00, sampled
+// flag set.
+func FormatTraceParent(tid TraceID, sid SpanID) string {
+	return "00-" + tid.String() + "-" + sid.String() + "-01"
+}

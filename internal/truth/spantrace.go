@@ -1,0 +1,40 @@
+package truth
+
+import "imc2/internal/tracing"
+
+// SpanTrace adapts a tracing span into a Trace: every truth-discovery
+// iteration becomes a "truth.iteration" event on the span, so a
+// settle's convergence history lives inside the same trace as the HTTP
+// request that caused it. A nil span yields a nil Trace — which
+// MultiTrace drops and the engine treats as "take no timestamps" — so
+// an untraced settle pays nothing. The event timestamps are observation
+// only; they never feed back into the estimate, which stays
+// bit-identical traced or not.
+func SpanTrace(s *tracing.Span) Trace {
+	if s == nil {
+		return nil
+	}
+	return spanTrace{s: s}
+}
+
+type spanTrace struct{ s *tracing.Span }
+
+func (t spanTrace) ObserveIteration(it IterationStats) {
+	attrs := make([]tracing.Attr, 0, 6)
+	attrs = append(attrs,
+		tracing.Int("iteration", it.Iteration),
+		tracing.Int("changed", it.Changed))
+	if it.DependenceSeconds > 0 {
+		attrs = append(attrs, tracing.F64("dependence_seconds", it.DependenceSeconds))
+	}
+	if it.IndependenceSeconds > 0 {
+		attrs = append(attrs, tracing.F64("independence_seconds", it.IndependenceSeconds))
+	}
+	if it.EstimateSeconds > 0 {
+		attrs = append(attrs, tracing.F64("estimate_seconds", it.EstimateSeconds))
+	}
+	if it.Converged {
+		attrs = append(attrs, tracing.Str("converged", "true"))
+	}
+	t.s.Event("truth.iteration", attrs...)
+}

@@ -12,6 +12,7 @@ import (
 
 	"imc2/internal/imcerr"
 	"imc2/internal/model"
+	"imc2/internal/tracing"
 )
 
 // Client drives the campaign API from the worker (or operator) side.
@@ -120,6 +121,13 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	}
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	// Outbound context propagation: when the caller's ctx carries a
+	// span, inject its W3C traceparent so the server joins the caller's
+	// trace instead of starting a fresh one. Span-free contexts skip
+	// this entirely.
+	if tp := tracing.SpanFromContext(ctx).TraceParent(); tp != "" {
+		req.Header.Set(tracing.TraceParentHeader, tp)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {

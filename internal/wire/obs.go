@@ -1,6 +1,9 @@
 package wire
 
 import (
+	"context"
+	cryptorand "crypto/rand"
+	"encoding/hex"
 	"log/slog"
 	"net/http"
 	"strconv"
@@ -8,6 +11,7 @@ import (
 
 	"imc2/internal/imcerr"
 	"imc2/internal/obs"
+	"imc2/internal/tracing"
 )
 
 // ServerOption configures a Server beyond its required dependencies.
@@ -22,10 +26,20 @@ func WithObs(o *obs.Registry) ServerOption {
 }
 
 // WithSlog attaches a structured logger: the middleware emits one
-// record per request (method, path, route, status, duration). A nil
-// logger is a no-op.
+// record per request (method, path, route, status, duration,
+// request_id, and trace_id when tracing is on). A nil logger is a
+// no-op.
 func WithSlog(l *slog.Logger) ServerOption {
 	return func(s *Server) { s.slogger = l }
+}
+
+// WithTracing attaches a tracer: the middleware opens one root span per
+// request — adopting a valid inbound W3C traceparent header, ignoring a
+// malformed one — and returns the trace ID as X-Trace-Id; handlers hang
+// child spans and events off the request context, and GET /v2/traces
+// serves the tracer's flight recorder. A nil tracer is a no-op.
+func WithTracing(tr *tracing.Tracer) ServerOption {
+	return func(s *Server) { s.tracer = tr }
 }
 
 // wireMetrics holds the HTTP layer's instruments. A nil *wireMetrics is
@@ -67,13 +81,27 @@ func (w *statusWriter) WriteHeader(status int) {
 	w.ResponseWriter.WriteHeader(status)
 }
 
-// instrument wraps the router with the metrics/logging middleware. The
-// uninstrumented, unlogged server serves the bare mux — zero overhead.
-// The route label is the mux pattern (e.g. "GET /v2/campaigns/{id}"),
-// never the raw path, so label cardinality stays bounded by the route
-// table; requests matching no route are labeled "unmatched".
+// requestIDHeader carries the per-request correlation ID on the
+// response; writeError reads it back from the response headers so the
+// error body echoes it without plumbing the request through.
+const requestIDHeader = "X-Request-Id"
+
+// newRequestID mints the per-request correlation ID.
+func newRequestID() string {
+	var b [8]byte
+	_, _ = cryptorand.Read(b[:])
+	return hex.EncodeToString(b[:])
+}
+
+// instrument wraps the router with the metrics/logging/tracing
+// middleware. The uninstrumented server serves the bare mux — zero
+// overhead. The route label is the mux pattern (e.g.
+// "GET /v2/campaigns/{id}"), never the raw path, so label cardinality
+// stays bounded by the route table; requests matching no route are
+// labeled "unmatched". Every instrumented request gets an X-Request-Id;
+// with a tracer attached it also gets a root span and an X-Trace-Id.
 func (s *Server) instrument(mux *http.ServeMux) http.Handler {
-	if s.m == nil && s.slogger == nil {
+	if s.m == nil && s.slogger == nil && s.tracer == nil {
 		return mux
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -81,33 +109,72 @@ func (s *Server) instrument(mux *http.ServeMux) http.Handler {
 		if pattern == "" {
 			pattern = "unmatched"
 		}
+		reqID := newRequestID()
+		// Set before the handler runs so writeError can echo it into
+		// error bodies by reading the response headers.
+		w.Header().Set(requestIDHeader, reqID)
+		var span *tracing.Span
+		if s.tracer != nil {
+			var ctx context.Context
+			ctx, span = s.tracer.StartRoot(r.Context(), pattern, r.Header.Get(tracing.TraceParentHeader))
+			span.SetAttr("http.method", r.Method)
+			span.SetAttr("http.path", r.URL.Path)
+			span.SetAttr("request_id", reqID)
+			w.Header().Set("X-Trace-Id", span.TraceIDString())
+			r = r.WithContext(ctx)
+		}
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		if s.m != nil {
 			s.m.inflight.Inc()
 		}
+		// Observe in a defer so a panicking handler can neither leak
+		// the inflight gauge nor vanish from the counters and the log;
+		// the panic is re-raised afterwards so net/http still aborts
+		// the connection.
+		defer func() {
+			p := recover()
+			if p != nil {
+				sw.status = http.StatusInternalServerError
+			}
+			elapsed := time.Since(start)
+			if s.m != nil {
+				s.m.inflight.Dec()
+				s.m.requests.With(pattern, strconv.Itoa(sw.status)).Inc()
+				s.m.latency.With(pattern).Observe(elapsed.Seconds())
+			}
+			span.SetAttr("http.status", strconv.Itoa(sw.status))
+			if sw.status >= http.StatusInternalServerError {
+				span.SetError(imcerr.New(imcerr.CodeInternal, "HTTP %d", sw.status))
+			}
+			span.End()
+			if s.slogger != nil {
+				args := []any{
+					"method", r.Method,
+					"path", r.URL.Path,
+					"route", pattern,
+					"status", sw.status,
+					"duration_ms", float64(elapsed.Microseconds()) / 1e3,
+					"request_id", reqID,
+				}
+				if span != nil {
+					args = append(args, "trace_id", span.TraceIDString())
+				}
+				s.slogger.Info("request", args...)
+			}
+			if p != nil {
+				panic(p)
+			}
+		}()
 		mux.ServeHTTP(sw, r)
-		elapsed := time.Since(start)
-		if s.m != nil {
-			s.m.inflight.Dec()
-			s.m.requests.With(pattern, strconv.Itoa(sw.status)).Inc()
-			s.m.latency.With(pattern).Observe(elapsed.Seconds())
-		}
-		if s.slogger != nil {
-			s.slogger.Info("request",
-				"method", r.Method,
-				"path", r.URL.Path,
-				"route", pattern,
-				"status", sw.status,
-				"duration_ms", float64(elapsed.Microseconds())/1e3)
-		}
 	})
 }
 
 // writeError is the single place an error becomes an HTTP response:
-// code → status via statusOf, the Retry-After hint on backpressure, and
-// the error counter — every handler routes failures through here, so
-// middleware and metrics observe one consistent mapping.
+// code → status via statusOf, the Retry-After hint on backpressure, the
+// request-ID echo, and the error counter — every handler routes
+// failures through here, so middleware and metrics observe one
+// consistent mapping.
 func (s *Server) writeError(w http.ResponseWriter, err error) {
 	code := imcerr.CodeOf(err)
 	if s.m != nil {
@@ -117,5 +184,9 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 		// Backpressure: tell retrying clients when to come back.
 		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
 	}
-	writeJSON(w, statusOf(code), errorBody{Error: err.Error(), Code: string(code)})
+	writeJSON(w, statusOf(code), errorBody{
+		Error:     err.Error(),
+		Code:      string(code),
+		RequestID: w.Header().Get(requestIDHeader),
+	})
 }

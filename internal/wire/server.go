@@ -21,6 +21,8 @@
 //	GET  /v2/stats                       unified platform stats (scheduler, store, registry)
 //	GET  /v2/scheduler                   settle-scheduler stats (admission, queue)
 //	GET  /v2/store                       durable-store stats (WAL, snapshots, recovery)
+//	GET  /v2/traces                      retained traces (?campaign=&min_duration_ms=&errors=)
+//	GET  /v2/traces/{id}                 one trace's full span tree
 //	GET  /v2/healthz                     liveness
 //
 // When the registry carries a settle scheduler (internal/sched), closes
@@ -63,6 +65,7 @@ import (
 	"imc2/internal/imcerr"
 	"imc2/internal/platform"
 	"imc2/internal/registry"
+	"imc2/internal/tracing"
 )
 
 // Submission is the JSON envelope a worker posts.
@@ -88,6 +91,9 @@ type Report struct {
 type errorBody struct {
 	Error string `json:"error"`
 	Code  string `json:"code,omitempty"`
+	// RequestID echoes the X-Request-Id header so a client-side failure
+	// report can be matched to the server's log record for the request.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // Server serves a campaign registry: the full /v2 protocol plus the /v1
@@ -100,10 +106,12 @@ type Server struct {
 	logf      func(format string, args ...any)
 
 	// m holds the HTTP layer's obs instruments (WithObs); slogger, when
-	// non-nil, receives one structured record per request (WithSlog).
-	// Both nil: Handler returns the bare router.
+	// non-nil, receives one structured record per request (WithSlog);
+	// tracer, when non-nil, opens one root span per request
+	// (WithTracing). All nil: Handler returns the bare router.
 	m       *wireMetrics
 	slogger *slog.Logger
+	tracer  *tracing.Tracer
 
 	// ctx bounds asynchronous settles; Shutdown cancels it and waits.
 	ctx     context.Context
@@ -183,10 +191,17 @@ func (s *Server) ResumeSettles(pending []*registry.Campaign) {
 	for _, c := range pending {
 		c := c
 		s.logf("campaign %s: re-queueing settle interrupted by restart", c.ID())
+		// Recovered settles get their own root trace (there is no HTTP
+		// request to join); nil tracer → nil span, zero cost.
+		sctx, span := s.tracer.StartRoot(s.ctx, "campaign.settle.resume", "")
+		span.SetKind("settle")
+		span.SetAttr("campaign", c.ID())
 		s.settles.Add(1)
 		go func() {
 			defer s.settles.Done()
-			rep, err := c.Settle(s.ctx)
+			rep, err := c.Settle(sctx)
+			span.SetError(err)
+			span.End()
 			if err != nil {
 				s.logf("campaign %s recovered settle failed: %v", c.ID(), err)
 				return
@@ -225,6 +240,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v2/stats", s.handleStats)
 	mux.HandleFunc("GET /v2/scheduler", s.handleSchedulerStats)
 	mux.HandleFunc("GET /v2/store", s.handleStoreStats)
+	mux.HandleFunc("GET /v2/traces", s.handleListTraces)
+	mux.HandleFunc("GET /v2/traces/{id}", s.handleGetTrace)
 	mux.HandleFunc("GET /v2/healthz", healthz)
 	return s.instrument(mux)
 }
@@ -277,7 +294,14 @@ func (s *Server) handleClose(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	rep, err := c.Settle(s.ctx)
+	// The settle runs under the server's lifetime context but inside
+	// the request's trace: re-home the settle span onto s.ctx.
+	span := tracing.SpanFromContext(r.Context()).Child("campaign.settle")
+	span.SetKind("settle")
+	span.SetAttr("campaign", c.ID())
+	rep, err := c.Settle(tracing.ContextWithSpan(s.ctx, span))
+	span.SetError(err)
+	span.End()
 	if err != nil {
 		s.writeError(w, err)
 		return

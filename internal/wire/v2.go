@@ -15,6 +15,7 @@ import (
 	"imc2/internal/registry"
 	"imc2/internal/sched"
 	"imc2/internal/store"
+	"imc2/internal/tracing"
 )
 
 // Task is the wire form of a published task.
@@ -328,9 +329,14 @@ func (s *Server) handleStoreStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.storeStats())
 }
 
-// campaign resolves the {id} path parameter.
+// campaign resolves the {id} path parameter, stamping the campaign ID
+// onto the request's span (when tracing) so traces filter by campaign.
 func (s *Server) campaign(r *http.Request) (*registry.Campaign, error) {
-	return s.reg.Get(r.PathValue("id"))
+	c, err := s.reg.Get(r.PathValue("id"))
+	if err == nil {
+		tracing.SpanFromContext(r.Context()).SetAttr("campaign", c.ID())
+	}
+	return c, err
 }
 
 // decodeCreateCampaignRequest parses and structurally validates a
@@ -526,10 +532,20 @@ func (s *Server) handleCloseCampaign(w http.ResponseWriter, r *http.Request) {
 	// a poller racing the settle goroutine cannot mistake it for this
 	// attempt's outcome.
 	c.ClearSettleErr()
+	// The settle outlives this request (202 now, work later) but stays
+	// inside its trace: the settle span is a child of the request span,
+	// re-homed onto the server's lifetime context. Nil span (tracing
+	// off) leaves s.ctx untouched.
+	span := tracing.SpanFromContext(r.Context()).Child("campaign.settle")
+	span.SetKind("settle")
+	span.SetAttr("campaign", c.ID())
+	sctx := tracing.ContextWithSpan(s.ctx, span)
 	s.settles.Add(1)
 	go func() {
 		defer s.settles.Done()
-		rep, err := c.Settle(s.ctx)
+		rep, err := c.Settle(sctx)
+		span.SetError(err)
+		span.End()
 		if err != nil {
 			s.logf("campaign %s settle failed: %v", c.ID(), err)
 			return
